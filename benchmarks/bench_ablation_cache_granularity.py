@@ -1,0 +1,90 @@
+"""§4.1 ablation: image-grain vs file-grain read caching (+ prefetch).
+
+The paper caches whole disc images ("sufficiently exploiting spatial
+locality") and leaves file-grain caching and prefetching as future work.
+This bench quantifies the trade on two access patterns:
+
+* a **sequential scan** of one image's files — image-grain turns one
+  mechanical fetch into free neighbours; file-grain must prefetch to
+  compete;
+* a **random point-read** pattern across many images under a tight buffer
+  budget — file-grain keeps more distinct hot files per byte.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table, record_result
+from tests.conftest import make_ros
+
+
+def _populated(**kwargs):
+    ros = make_ros(
+        bucket_capacity=64 * 1024,
+        read_cache_images=1,
+        **kwargs,
+    )
+    paths = []
+    for index in range(12):
+        path = f"/grain/f{index:02d}.bin"
+        ros.write(path, bytes([index + 1]) * 12000)
+        paths.append(path)
+    ros.flush()
+    for image_id in list(ros.cache.cached_ids):
+        ros.cache.evict(image_id)
+    for record in ros.dim.records.values():
+        if record.state == "burned" and record.image is not None:
+            ros.dim.evict_content(record.image_id)
+    return ros, paths
+
+
+def _sequential_scan(ros, paths):
+    fetches_before = ros.ftm.fetch_tasks
+    total = 0.0
+    for path in paths:
+        result = ros.read(path)
+        total += result.total_seconds
+        ros.drain_background()
+    return total / len(paths), ros.ftm.fetch_tasks - fetches_before
+
+
+def run_granularity_ablation():
+    rows = []
+    for label, kwargs in (
+        ("image-grain (paper)", {}),
+        ("file-grain", {"cache_granularity": "file"}),
+        (
+            "file-grain + prefetch 4",
+            {"cache_granularity": "file", "prefetch_siblings": 4},
+        ),
+    ):
+        ros, paths = _populated(**kwargs)
+        mean_latency, fetches = _sequential_scan(ros, paths)
+        rows.append(
+            {
+                "config": label,
+                "mean_read_s": round(mean_latency, 2),
+                "mechanical_fetches": fetches,
+            }
+        )
+    return rows
+
+
+def test_ablation_cache_granularity(benchmark):
+    rows = benchmark.pedantic(
+        run_granularity_ablation, rounds=1, iterations=1
+    )
+    print_table(
+        "§4.1 ablation: cache granularity, sequential scan of 12 files",
+        rows,
+    )
+    record_result("ablation_cache_granularity", rows)
+    by_name = {row["config"]: row for row in rows}
+    image = by_name["image-grain (paper)"]
+    plain_file = by_name["file-grain"]
+    prefetch = by_name["file-grain + prefetch 4"]
+    # Image-grain exploits spatial locality: fewer mechanical fetches
+    # than plain file-grain on a sequential scan.
+    assert image["mechanical_fetches"] <= plain_file["mechanical_fetches"]
+    # Prefetching claws the locality back for file-grain.
+    assert prefetch["mechanical_fetches"] <= plain_file["mechanical_fetches"]
+    assert prefetch["mean_read_s"] <= plain_file["mean_read_s"]

@@ -1,0 +1,94 @@
+"""§4.8 ablation: the forepart-data-stored mechanism.
+
+Paper: storing the first 256 KB of each file in its index file lets a
+cold read (disc still in the roller) answer its first bytes "within 2 ms"
+instead of after the ~70 s mechanical fetch, avoiding client timeouts.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table, record_result
+from tests.conftest import make_ros
+
+
+def cold_read(forepart_enabled: bool):
+    ros = make_ros(forepart_enabled=forepart_enabled)
+    ros.write("/cold/file.bin", b"c" * 30000)
+    ros.flush()
+    image_id = ros.stat("/cold/file.bin")["locations"][0]
+    ros.cache.evict(image_id)
+    result = ros.read("/cold/file.bin")
+    return result
+
+
+def run_forepart_ablation():
+    with_fp = cold_read(forepart_enabled=True)
+    without_fp = cold_read(forepart_enabled=False)
+    return with_fp, without_fp
+
+
+def test_ablation_forepart(benchmark):
+    with_fp, without_fp = benchmark.pedantic(
+        run_forepart_ablation, rounds=1, iterations=1
+    )
+    rows = [
+        {
+            "config": "forepart enabled",
+            "first_byte_s": round(with_fp.first_byte_seconds, 4),
+            "completion_s": round(with_fp.total_seconds, 1),
+            "used_forepart": with_fp.used_forepart,
+        },
+        {
+            "config": "forepart disabled",
+            "first_byte_s": round(without_fp.first_byte_seconds, 4),
+            "completion_s": round(without_fp.total_seconds, 1),
+            "used_forepart": without_fp.used_forepart,
+        },
+    ]
+    print_table("§4.8 ablation: forepart-data-stored", rows)
+    record_result("ablation_forepart", rows)
+    # First bytes within a few ms (paper: "within 2 ms" internally; our
+    # figure includes the full POSIX stat path).
+    assert with_fp.first_byte_seconds < 0.005
+    assert without_fp.first_byte_seconds > 60
+    # Completion still pays the mechanical fetch either way.
+    assert with_fp.total_seconds > 60
+    # Storage overhead: the forepart rides in the index file.
+    improvement = without_fp.first_byte_seconds / with_fp.first_byte_seconds
+    assert improvement > 10_000
+
+
+def test_forepart_trickle_plan(benchmark):
+    """The trickle keeps a client fed until the fetch completes for
+    small files; large files drain the forepart first (§4.8 notes this
+    'avoids read timeout continuously')."""
+
+    def plans():
+        from repro.olfs.config import OLFSConfig
+        from repro.olfs.forepart import ForepartManager
+
+        manager = ForepartManager(OLFSConfig())
+        small = manager.plan(b"x" * 200_000, 0.0005, fetch_seconds=1.0)
+        cold = manager.plan(b"x" * 262_144, 0.0005, fetch_seconds=70.0)
+        return small, cold
+
+    small, cold = benchmark.pedantic(plans, rounds=1, iterations=1)
+    rows = [
+        {
+            "scenario": "disc already near (1 s fetch)",
+            "first_byte_s": round(small.first_byte_seconds, 4),
+            "forepart_drains_at_s": round(small.forepart_drained_at, 2),
+            "bridges_fetch": small.bridges_fetch,
+        },
+        {
+            "scenario": "roller fetch (70 s)",
+            "first_byte_s": round(cold.first_byte_seconds, 4),
+            "forepart_drains_at_s": round(cold.forepart_drained_at, 2),
+            "bridges_fetch": cold.bridges_fetch,
+        },
+    ]
+    print_table("§4.8: forepart trickle timelines", rows)
+    record_result("forepart_trickle", rows)
+    assert small.bridges_fetch
+    assert not cold.bridges_fetch  # 256 KB at 128 KB/s covers only ~2 s
+    assert small.first_byte_seconds < 0.002

@@ -1,0 +1,95 @@
+"""§3.2 ablation: ROS roller + 1-D arm vs magazine library; scheduling.
+
+The paper argues its roller design (a) simplifies motion (2 axes instead
+of a 3-D gantry), (b) roughly doubles disc placement density versus
+magazine cassettes in fixed slots, and (c) that overlapping roller/arm
+motions "can save up to almost 10 seconds" per load/unload pair.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table, record_result
+from repro.baselines import MagazineLibraryModel
+from repro.mechanics import MechanicalSubsystem, TrayAddress
+from repro.mechanics.timing import DEFAULT_TIMINGS
+from repro.sim import Engine
+
+
+def run_design_comparison():
+    magazine = MagazineLibraryModel()
+    mid_fraction = 0.5
+    rows = [
+        {
+            "design": "ROS roller + 1-D arm",
+            "load_s": round(DEFAULT_TIMINGS.load_total(mid_fraction), 1),
+            "unload_s": round(DEFAULT_TIMINGS.unload_total(mid_fraction), 1),
+            "discs_per_42U": 12240,
+            "motion_axes": 2,
+        },
+        {
+            "design": "magazine library (DH8-class)",
+            "load_s": round(magazine.load_seconds(), 1),
+            "unload_s": round(magazine.unload_seconds(), 1),
+            "discs_per_42U": magazine.discs_per_rack,
+            "motion_axes": magazine.motion_axes,
+        },
+    ]
+    return rows, magazine
+
+
+def test_ablation_roller_vs_magazine(benchmark):
+    rows, magazine = benchmark.pedantic(
+        run_design_comparison, rounds=1, iterations=1
+    )
+    print_table("§3.2 ablation: roller vs magazine design", rows)
+    record_result("ablation_mechanics_design", rows)
+    ros_row, mag_row = rows
+    assert ros_row["load_s"] < mag_row["load_s"]
+    assert ros_row["unload_s"] < mag_row["unload_s"]
+    # "half the capacity of our design" (§6)
+    assert mag_row["discs_per_42U"] == pytest.approx(
+        ros_row["discs_per_42U"] / 2, rel=0.1
+    )
+    assert ros_row["motion_axes"] < mag_row["motion_axes"]
+
+
+def run_scheduling_comparison():
+    results = {}
+    for parallel in (False, True):
+        engine = Engine()
+        subsystem = MechanicalSubsystem(
+            engine, roller_count=1, parallel_scheduling=parallel
+        )
+        address = TrayAddress(40, 2)
+        start = engine.now
+        engine.run_process(subsystem.load_array(0, address))
+        load = engine.now - start
+        start = engine.now
+        engine.run_process(subsystem.unload_array(0))
+        unload = engine.now - start
+        results["parallel" if parallel else "serial"] = (load, unload)
+    return results
+
+
+def test_ablation_parallel_scheduling(benchmark):
+    results = benchmark.pedantic(
+        run_scheduling_comparison, rounds=1, iterations=1
+    )
+    serial = results["serial"]
+    parallel = results["parallel"]
+    saved = (serial[0] + serial[1]) - (parallel[0] + parallel[1])
+    rows = [
+        {
+            "mode": mode,
+            "load_s": round(values[0], 1),
+            "unload_s": round(values[1], 1),
+            "pair_total_s": round(values[0] + values[1], 1),
+        }
+        for mode, values in results.items()
+    ]
+    rows.append(
+        {"mode": "saved (paper: 'up to almost 10 s')", "pair_total_s": round(saved, 1)}
+    )
+    print_table("§3.2 ablation: serial vs overlapped scheduling", rows)
+    record_result("ablation_parallel_scheduling", rows)
+    assert 8.0 <= saved <= 10.0

@@ -1,0 +1,80 @@
+"""Figure 6: normalized singlestream throughput of five stack configurations.
+
+Paper (§5.3): ext4 on the RAID-5 volume reaches 1.2 GB/s read, 1.0 GB/s
+write.  Normalized to that, ext4+FUSE loses 24.1 % R / 51.8 % W, ext4+OLFS
+a further 28.9 % R / 10.1 % W, samba drops to ~31 % both ways, and
+samba+OLFS lands at 236.1 MB/s read, 323.6 MB/s write.
+
+Measured by driving the filebench singlestream workload (1 MB I/O)
+through each composed stack on the simulator.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table, record_result
+from repro import units
+from repro.frontend import make_stack
+from repro.sim import Engine
+from repro.workloads import SinglestreamWorkload
+
+#: (read, write) normalized to ext4, derived from the §5.3 text.
+PAPER_NORMALIZED = {
+    "ext4+FUSE": (0.759, 0.482),
+    "ext4+OLFS": (0.539, 0.433),
+    "samba": (0.311, 0.320),
+    "samba+FUSE": (None, None),  # shown in the figure, no number in text
+    "samba+OLFS": (0.197, 0.324),
+}
+
+CONFIGS = ["ext4", "ext4+FUSE", "ext4+OLFS", "samba", "samba+FUSE", "samba+OLFS"]
+
+
+def run_fig6():
+    engine = Engine()
+    measured = {}
+    for name in CONFIGS:
+        stack = make_stack(name)
+        rates = {}
+        for direction in ("read", "write"):
+            workload = SinglestreamWorkload(
+                direction, total_bytes=2 * units.GB
+            )
+            result = engine.run_process(workload.run_on_stack(engine, stack))
+            rates[direction] = result.throughput_mb_s
+        measured[name] = rates
+    base = measured["ext4"]
+    rows = []
+    for name in CONFIGS:
+        paper_r, paper_w = PAPER_NORMALIZED.get(name, (1.0, 1.0))
+        rows.append(
+            {
+                "config": name,
+                "read_mb_s": round(measured[name]["read"], 1),
+                "write_mb_s": round(measured[name]["write"], 1),
+                "norm_read": round(measured[name]["read"] / base["read"], 3),
+                "norm_write": round(
+                    measured[name]["write"] / base["write"], 3
+                ),
+                "paper_norm_read": paper_r if paper_r else "-",
+                "paper_norm_write": paper_w if paper_w else "-",
+            }
+        )
+    return rows
+
+
+def test_fig6_stack_throughput(benchmark):
+    rows = benchmark.pedantic(run_fig6, rounds=1, iterations=1)
+    print_table("Figure 6: normalized throughput vs ext4", rows)
+    record_result("fig6_stack_throughput", rows)
+    by_name = {row["config"]: row for row in rows}
+    for name, (paper_r, paper_w) in PAPER_NORMALIZED.items():
+        if paper_r is None:
+            continue
+        assert by_name[name]["norm_read"] == pytest.approx(paper_r, rel=0.06)
+        assert by_name[name]["norm_write"] == pytest.approx(paper_w, rel=0.06)
+    # Headline absolute numbers (§5.3): 236.1 MB/s R / 323.6 MB/s W.
+    assert by_name["samba+OLFS"]["read_mb_s"] == pytest.approx(236.1, rel=0.05)
+    assert by_name["samba+OLFS"]["write_mb_s"] == pytest.approx(323.6, rel=0.05)
+    # Figure shape: each additional layer slows reads.
+    reads = [by_name[c]["read_mb_s"] for c in CONFIGS]
+    assert reads == sorted(reads, reverse=True)

@@ -1,0 +1,74 @@
+"""Figure 8: single-drive recording process for a 25 GB disc.
+
+Paper: the burning speed ramps from ~4X up to almost 12X over the disc
+(text quotes an average of 8.2X), totalling 675 seconds for one disc.
+The bench regenerates the speed-vs-progress series, the average multiple
+and the total time by burning one full-size declared image on a drive.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table, record_result
+from repro import units
+from repro.drives import OpticalDrive
+from repro.drives.speed import ZonedCAVCurve
+from repro.media.disc import BD25, OpticalDisc
+from repro.sim import Engine
+
+#: Progress sample points mirroring the paper's Figure 8 x-axis.
+SAMPLE_POINTS = [0.0, 0.098, 0.23, 0.382, 0.555, 0.749, 0.964]
+
+
+def run_fig8():
+    curve = ZonedCAVCurve()
+    series = [
+        {"progress": p, "speed_x": round(curve.speed_multiple(p), 2)}
+        for p in SAMPLE_POINTS
+    ]
+    engine = Engine()
+    drive = OpticalDrive(engine, "drv")
+    drive.open_tray()
+    drive.insert_disc(OpticalDisc("d", BD25))
+    drive.close_tray()
+    size = 24_990 * units.MB
+
+    def burn():
+        result = yield from drive.burn(b"x", logical_size=size, label="img")
+        return result
+
+    result = engine.run_process(burn())
+    burn_seconds = result.elapsed_seconds - 2.0  # minus spin-up
+    average = size / burn_seconds / units.BLU_RAY_1X
+    return series, burn_seconds, average
+
+
+def test_fig8_single_drive_25gb(benchmark):
+    series, seconds, average = benchmark.pedantic(
+        run_fig8, rounds=1, iterations=1
+    )
+    print_table("Figure 8: 25 GB single-drive burn curve", series)
+    summary = [
+        {
+            "metric": "total burn time (s)",
+            "paper": 675,
+            "measured": round(seconds, 1),
+        },
+        {
+            "metric": "average speed (X)",
+            "paper": 8.2,
+            "measured": round(average, 2),
+        },
+        {
+            "metric": "final speed (X)",
+            "paper": "~12",
+            "measured": series[-1]["speed_x"],
+        },
+    ]
+    print_table("Figure 8: summary", summary)
+    record_result("fig8_single_25gb", {"series": series, "summary": summary})
+    assert seconds == pytest.approx(675.0, rel=0.02)
+    assert average == pytest.approx(8.2, rel=0.02)
+    speeds = [row["speed_x"] for row in series]
+    assert speeds == sorted(speeds)  # monotone ramp (CAV shape)
+    assert speeds[0] == pytest.approx(4.5, abs=0.1)
+    assert speeds[-1] > 11.7

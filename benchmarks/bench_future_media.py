@@ -1,0 +1,53 @@
+"""§2.1 extension: rack capacity with the paper's projected future media.
+
+"Hologram discs with 2TB have been realized and demonstrated ...  In the
+foreseeable future, 5D optical discs are poised to offer hundreds of TB
+capacity."  The bench projects the same 42U rack (12,240 disc slots,
+11+1 redundancy) across media generations, plus the burn-time economics.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table, record_result
+from repro import units
+from repro.drives.speed import curve_for
+from repro.media.disc import BD25, BD100, FIVED_DISC, HOLO2TB
+
+RACK_SLOTS = 12240
+USABLE = 11 / 12  # 11 data + 1 parity
+
+
+def run_projection():
+    rows = []
+    for disc in (BD25, BD100, HOLO2TB, FIVED_DISC):
+        raw = RACK_SLOTS * disc.capacity
+        curve = curve_for(disc, seed=1)
+        burn = curve.burn_seconds(disc.capacity)
+        rows.append(
+            {
+                "media": disc.name,
+                "rack_raw_PB": round(raw / units.PB, 2),
+                "rack_usable_PB": round(raw * USABLE / units.PB, 2),
+                "disc_burn_h": round(burn / 3600, 2),
+                "write_rate_mb_s": round(
+                    disc.capacity / burn / units.MB, 1
+                ),
+            }
+        )
+    return rows
+
+
+def test_future_media_projection(benchmark):
+    rows = benchmark.pedantic(run_projection, rounds=1, iterations=1)
+    print_table("§2.1: rack projection across media generations", rows)
+    record_result("future_media", rows)
+    by_name = {row["media"]: row for row in rows}
+    # The paper's prototype: 100 GB discs -> ~1.2 PB raw per 2-roller rack.
+    assert by_name["BDXL 100GB"]["rack_raw_PB"] == pytest.approx(1.22, abs=0.03)
+    # Hologram generation crosses the 20 PB mark in the same rack.
+    assert by_name["Holographic 2TB"]["rack_raw_PB"] > 20
+    # 5D reaches the exabyte-scale club.
+    assert by_name["5D 360TB"]["rack_raw_PB"] > 4000
+    # Capacity strictly grows across generations.
+    capacities = [row["rack_raw_PB"] for row in rows]
+    assert capacities == sorted(capacities)

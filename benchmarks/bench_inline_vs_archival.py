@@ -1,0 +1,93 @@
+"""§2.2 / §5.3 / §6: inline accessibility vs conventional alternatives.
+
+The paper's core claim: "the latency for accessing a file is lower than
+60 ms regardless of file size, which is far better than conventional
+archival system which has minutes-level latency", and LTFS-style tape
+POSIX pays linear seek per access.  The bench puts the three access models
+side by side on the same 1 MB-file request.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table, record_result
+from repro import units
+from repro.baselines import ConventionalArchivalSystem, LTFSTapeModel
+from repro.frontend import make_stack
+from tests.conftest import make_ros
+
+
+def run_comparison():
+    # ROS: a warm read through the full samba+OLFS stack.
+    ros = make_ros()
+    make_stack("samba+OLFS").attach(ros.pi)
+    payload = b"m" * (1 * units.MB)
+    ros.write("/cmp/file.bin", payload)
+    result = ros.read("/cmp/file.bin")
+    ros_latency = result.total_seconds
+
+    archival = ConventionalArchivalSystem()
+    ltfs = LTFSTapeModel()
+    return [
+        {
+            "system": "ROS (samba+OLFS, hits disks)",
+            "latency_s": round(ros_latency, 4),
+            "inline": True,
+        },
+        {
+            "system": "LTFS tape (mounted, mean seek)",
+            "latency_s": round(
+                ltfs.read_latency(1 * units.MB, 0.5, mounted=True), 1
+            ),
+            "inline": True,
+        },
+        {
+            "system": "LTFS tape (incl. mount)",
+            "latency_s": round(ltfs.read_latency(1 * units.MB, 0.5), 1),
+            "inline": True,
+        },
+        {
+            "system": "conventional archival restore",
+            "latency_s": round(archival.restore_latency(1 * units.MB), 1),
+            "inline": False,
+        },
+    ]
+
+
+def test_inline_accessibility_comparison(benchmark):
+    rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    print_table("Inline accessibility: 1 MB file access latency", rows)
+    record_result("inline_vs_archival", rows)
+    ros_latency = rows[0]["latency_s"]
+    # "lower than 60 ms regardless of file size" (§5.3)
+    assert ros_latency < 0.060
+    # minutes-level for the backup-system path (§2.2)
+    assert rows[-1]["latency_s"] > 120
+    # LTFS pays tens of seconds of linear seek (§6)
+    assert rows[1]["latency_s"] > 10
+    assert ros_latency * 100 < rows[1]["latency_s"]
+
+
+def test_latency_independent_of_file_size(benchmark):
+    """§5.3: OLFS's disk-hit latency stays sub-60 ms across sizes."""
+
+    def sweep():
+        ros = make_ros(bucket_capacity=64 * 1024 * 1024)
+        make_stack("samba+OLFS").attach(ros.pi)
+        rows = []
+        for size in (1 * units.KB, 100 * units.KB, 1 * units.MB, 8 * units.MB):
+            path = f"/sz/f{size}.bin"
+            ros.write(path, b"s" * int(size))
+            result = ros.read(path)
+            rows.append(
+                {
+                    "file_size": int(size),
+                    "read_latency_ms": round(result.total_seconds * 1e3, 2),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table("Read latency vs file size (disk hits)", rows)
+    record_result("latency_vs_size", rows)
+    for row in rows:
+        assert row["read_latency_ms"] < 60.0

@@ -1,0 +1,80 @@
+"""§4.2: recovering the Metadata Volume from discs.
+
+Paper: "As an experiment, ROS took half an hour to recover MV from 120
+discs."  The bench populates a namespace large enough that its MV
+snapshot spans 120 discs (10 arrays of 11 data + 1 parity at the scaled
+bucket size), burns the checkpoint, wipes MV and measures the timed
+scan-and-rebuild.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table, record_result
+from tests.conftest import make_ros
+
+
+def run_recovery():
+    ros = make_ros(
+        data_discs=11,
+        parity_discs=1,
+        bucket_capacity=64 * 1024,
+        auto_burn=False,
+    )
+    # Enough index files that the snapshot needs ~110 data images:
+    # each image carries ~48 KB of snapshot; target ~5.3 MB of snapshot.
+    files = 21_500
+    for index in range(files):
+        ros.write(f"/ns/d{index % 40:02d}/f{index:05d}", b"x")
+    tasks = ros.checkpoint_mv()
+    metadata_images = [
+        record
+        for record in ros.dim.records.values()
+        if record.image_id.startswith("mv-")
+    ]
+    discs_burned = sum(
+        len(images)
+        for images in ros.mc.array_images.values()
+        if any(i.startswith("mv-") for i in images)
+    )
+    paths_before = len(ros.mv.all_index_paths())
+    ros.mv.load_snapshot(b'{"state": {}, "entries": []}')
+    start = ros.now
+    snapshot_id, discs_read = ros.recover_mv()
+    elapsed = ros.now - start
+    paths_after = len(ros.mv.all_index_paths())
+    return {
+        "metadata_images": len(metadata_images),
+        "discs_burned": discs_burned,
+        "discs_read": discs_read,
+        "recover_seconds": elapsed,
+        "recover_minutes": elapsed / 60.0,
+        "paths_before": paths_before,
+        "paths_after": paths_after,
+    }
+
+
+def test_mv_recovery_from_120_discs(benchmark):
+    result = benchmark.pedantic(run_recovery, rounds=1, iterations=1)
+    rows = [
+        {
+            "metric": "discs holding the checkpoint",
+            "paper": 120,
+            "measured": result["discs_burned"],
+        },
+        {
+            "metric": "recovery time (min)",
+            "paper": "~30",
+            "measured": round(result["recover_minutes"], 1),
+        },
+        {
+            "metric": "namespace fully restored",
+            "paper": "yes",
+            "measured": result["paths_after"] == result["paths_before"],
+        },
+    ]
+    print_table("§4.2: MV recovery from discs", rows)
+    record_result("mv_recovery", rows)
+    assert result["paths_after"] == result["paths_before"]
+    # Shape: ~120 discs, recovery on the order of half an hour.
+    assert 100 <= result["discs_burned"] <= 140
+    assert 20 <= result["recover_minutes"] <= 45

@@ -1,0 +1,75 @@
+"""§4.2: Metadata Volume sizing.
+
+Paper: index files are typically 388 bytes; MV uses 1 KB blocks and 128 B
+inodes; 1 billion files + 1 billion directories need ~2.3 TB — 0.23 % of
+the 1 PB data capacity.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table, record_result
+from repro import units
+from repro.olfs.index import IndexFile, VersionEntry
+from repro.reliability.sizing import (
+    mv_capacity_bytes,
+    mv_fraction_of_capacity,
+)
+
+
+def run_sizing():
+    index = IndexFile("/data/records/2026/customer-archive-000001.bin")
+    index.add_version(
+        VersionEntry(
+            version=1,
+            size=1_048_576,
+            mtime=12345.678,
+            locations=["img-00001234"],
+        )
+    )
+    typical = len(index.serialize())
+    total = mv_capacity_bytes()
+    fraction = mv_fraction_of_capacity()
+    return [
+        {"metric": "typical index file (bytes)", "paper": 388, "measured": typical},
+        {
+            "metric": "MV for 1B files + 1B dirs (TB)",
+            "paper": 2.3,
+            "measured": round(total / units.TB, 3),
+        },
+        {
+            "metric": "fraction of 1 PB (%)",
+            "paper": 0.23,
+            "measured": round(100 * fraction, 3),
+        },
+    ]
+
+
+def test_mv_sizing(benchmark):
+    rows = benchmark.pedantic(run_sizing, rounds=1, iterations=1)
+    print_table("§4.2: MV sizing", rows)
+    record_result("mv_sizing", rows)
+    assert rows[0]["measured"] <= 388
+    assert rows[1]["measured"] == pytest.approx(2.3, rel=0.05)
+    assert rows[2]["measured"] == pytest.approx(0.23, rel=0.05)
+
+
+def test_mv_sizing_measured_from_live_system(benchmark):
+    """Cross-check the analytical model against a real populated MV."""
+
+    def scenario():
+        from tests.conftest import make_ros
+
+        ros = make_ros()
+        files = 200
+        for index in range(files):
+            ros.write(f"/ns/d{index % 10}/f{index:04d}.bin", b"z" * 64)
+        return ros.mv.used_bytes() / files
+
+    per_file = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    print_table(
+        "§4.2: live MV bytes per file",
+        [{"metric": "bytes/file (incl. dirs)", "measured": round(per_file, 0)}],
+    )
+    record_result("mv_sizing_live", [{"bytes_per_file": per_file}])
+    # ~1.15 KB analytic footprint, plus shared directory overhead.
+    assert 1000 < per_file < 2500

@@ -1,0 +1,76 @@
+"""§4.8 policy trade-off: wait vs interrupt under an identical trace.
+
+"In the fourth case [all drives burning], there are two policies.  One is
+waiting for the burning task to complete ...  The other is immediately
+interrupting the current disc array burning process."  This bench replays
+the *same* recorded workload — background burns with an urgent read
+landing mid-burn — under both policies and reports what each side pays:
+the reader's latency (interrupt wins) vs the burn's completion time
+(wait wins).
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table, record_result
+from tests.conftest import make_ros
+
+
+def run_policy(policy: str):
+    from repro import units
+
+    ros = make_ros(
+        bucket_capacity=3 * units.GB,
+        busy_drive_policy=policy,
+        forepart_enabled=False,
+        buffer_volume_capacity=64 * units.GB,
+    )
+    # A burned array to read back later.
+    for index in range(4):
+        ros.write(f"/old/f{index}.bin", b"o" * 300_000)
+    ros.flush()
+    target_image = ros.stat("/old/f0.bin")["locations"][0]
+    ros.cache.evict(target_image)
+    # Background burn of four ~2 GB (declared) images: each disc burns
+    # for ~80 s, so the policy choice matters.
+    for index in range(4):
+        ros.write(f"/new/f{index}.bin", b"n" * 300_000, 2 * units.GB)
+    ros.wbm.close_nonempty_buckets()
+    tasks = ros.btm.flush_pending()
+    tasks += [t for t in ros.btm.active_tasks if t not in tasks]
+    burn_started = ros.now
+    while not any(ds.is_burning for ds in ros.mech.drive_sets):
+        ros.engine.run(until=ros.now + 0.05)
+    # The urgent read lands mid-burn.
+    result = ros.read("/old/f0.bin")
+    read_latency = result.total_seconds
+    ros.drain_background()
+    burn_completion = ros.now - burn_started
+    interruptions = sum(task.interruptions for task in tasks)
+    assert all(task.state == "done" for task in tasks)
+    return read_latency, burn_completion, interruptions
+
+
+def test_policy_tradeoff(benchmark):
+    def both():
+        return {policy: run_policy(policy) for policy in ("wait", "interrupt")}
+
+    results = benchmark.pedantic(both, rounds=1, iterations=1)
+    rows = []
+    for policy, (read_latency, burn_completion, interruptions) in results.items():
+        rows.append(
+            {
+                "policy": policy,
+                "urgent_read_s": round(read_latency, 1),
+                "burn_completion_s": round(burn_completion, 1),
+                "interruptions": interruptions,
+            }
+        )
+    print_table("§4.8: wait vs interrupt under the same workload", rows)
+    record_result("policy_tradeoff", rows)
+    wait = results["wait"]
+    interrupt = results["interrupt"]
+    # Interrupt serves the reader much sooner ...
+    assert interrupt[0] < wait[0] / 1.3
+    # ... at the cost of a later burn completion (reload + POW append).
+    assert interrupt[1] > wait[1]
+    assert interrupt[2] >= 1 and wait[2] == 0

@@ -1,0 +1,84 @@
+"""Table 2: optical drive read speeds, single vs 12-drive aggregate.
+
+Paper values: 25 GB — 24.1 MB/s single, 282.5 MB/s aggregate;
+             100 GB — 18.0 MB/s single, 210.2 MB/s aggregate.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table, record_result
+from repro import units
+from repro.drives import DriveSet
+from repro.media.disc import BD25, BD100, OpticalDisc
+from repro.sim import Engine
+
+PAPER = {
+    ("BD25", "single"): 24.1,
+    ("BD25", "aggregate"): 282.5,
+    ("BD100", "single"): 18.0,
+    ("BD100", "aggregate"): 210.2,
+}
+
+
+def _loaded_set(engine, disc_type, count, track_bytes):
+    drive_set = DriveSet(engine, 0)
+    for index in range(count):
+        disc = OpticalDisc(f"disc-{index}", disc_type)
+        disc.burn_track(b"D" * 1024, logical_size=track_bytes, label=f"i{index}")
+        drive = drive_set.drives[index]
+        drive.open_tray()
+        drive.insert_disc(disc)
+        drive.close_tray()
+    return drive_set
+
+
+def _measure(disc_type, drives, track_bytes):
+    engine = Engine()
+    drive_set = _loaded_set(engine, disc_type, drives, track_bytes)
+
+    def proc():
+        yield from drive_set.read_all_tracks()
+
+    engine.run_process(proc())
+    return drives * track_bytes / engine.now / units.MB
+
+
+def run_table2():
+    rows = []
+    for label, disc_type, track in (
+        ("BD25", BD25, 24 * units.GB),
+        ("BD100", BD100, 99 * units.GB),
+    ):
+        single = _measure(disc_type, 1, track)
+        aggregate = _measure(disc_type, 12, track)
+        rows.append(
+            {
+                "disc": label,
+                "mode": "single",
+                "paper_mb_s": PAPER[(label, "single")],
+                "measured_mb_s": round(single, 1),
+            }
+        )
+        rows.append(
+            {
+                "disc": label,
+                "mode": "aggregate (12)",
+                "paper_mb_s": PAPER[(label, "aggregate")],
+                "measured_mb_s": round(aggregate, 1),
+            }
+        )
+    return rows
+
+
+def test_table2_drive_read_speeds(benchmark):
+    rows = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    print_table("Table 2: optical drive read speeds", rows)
+    record_result("table2_drive_read_speed", rows)
+    for row in rows:
+        assert row["measured_mb_s"] == pytest.approx(
+            row["paper_mb_s"], rel=0.05
+        )
+    # Aggregate is slightly under 12x single (arbitration, Table 2 shape).
+    single = rows[0]["measured_mb_s"]
+    aggregate = rows[1]["measured_mb_s"]
+    assert 11.0 * single < aggregate < 12.0 * single

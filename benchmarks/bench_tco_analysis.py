@@ -1,0 +1,68 @@
+"""§2.1: TCO of a 1 PB / 100-year datacenter by media technology.
+
+Paper (citing Gupta et al.): "the TCO of an optical disc based datacenter
+is 250K$/PB, about 1/3 of an HDD-based datacenter, 1/2 of a tape-based
+datacenter."
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table, record_result
+from repro.reliability.tco import TCOInputs, compare_all
+
+
+def run_tco():
+    comparison = compare_all(TCOInputs())
+    rows = []
+    paper = {"optical": 1.0, "hdd": 3.0, "tape": 2.0, "ssd": None}
+    for name in ("optical", "tape", "hdd", "ssd"):
+        data = comparison[name]
+        rows.append(
+            {
+                "media": name,
+                "total_k$": round(data["total"] / 1000, 0),
+                "vs_optical": round(data["vs_optical"], 2),
+                "paper_vs_optical": paper[name] or "-",
+                "media_k$": round(data["breakdown"]["media"] / 1000, 0),
+                "migration_k$": round(data["breakdown"]["migration"] / 1000, 0),
+                "energy_k$": round(data["breakdown"]["energy"] / 1000, 0),
+            }
+        )
+    return rows
+
+
+def test_tco_analysis(benchmark):
+    rows = benchmark.pedantic(run_tco, rounds=1, iterations=1)
+    print_table("§2.1 TCO: 1 PB preserved for 100 years", rows)
+    record_result("tco_analysis", rows)
+    by_name = {row["media"]: row for row in rows}
+    assert by_name["optical"]["total_k$"] == pytest.approx(250, rel=0.1)
+    assert by_name["hdd"]["vs_optical"] == pytest.approx(3.0, rel=0.15)
+    assert by_name["tape"]["vs_optical"] == pytest.approx(2.0, rel=0.15)
+    # Shape: optical < tape < hdd < ssd.
+    totals = [by_name[m]["total_k$"] for m in ("optical", "tape", "hdd", "ssd")]
+    assert totals == sorted(totals)
+
+
+def test_tco_crossover_horizon(benchmark):
+    """Extension: where does optical overtake HDD?  Short horizons favour
+    HDD (no media premium amortized); the crossover sits well inside one
+    HDD lifetime."""
+
+    def sweep():
+        crossover = None
+        for years in range(2, 40):
+            comparison = compare_all(TCOInputs(horizon_years=years))
+            if comparison["hdd"]["total"] > comparison["optical"]["total"]:
+                crossover = years
+                break
+        return crossover
+
+    crossover = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "TCO crossover sweep",
+        [{"metric": "optical beats HDD from year", "measured": crossover}],
+    )
+    record_result("tco_crossover", [{"crossover_years": crossover}])
+    assert crossover is not None
+    assert crossover <= 10

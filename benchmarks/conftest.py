@@ -1,0 +1,61 @@
+"""Benchmark harness configuration.
+
+Each ``bench_*`` module regenerates one table or figure from the paper's
+evaluation (§5).  Benchmarks run the deterministic simulator, so
+pytest-benchmark timings measure *simulator* cost; the paper-relevant
+output is the simulated metrics each bench prints — a table of
+paper-value vs measured-value rows, echoed to stdout and collected into
+``benchmarks/results.json`` for EXPERIMENTS.md.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+RESULTS_PATH = pathlib.Path(__file__).parent / "results.json"
+_results: dict = {}
+
+
+def record_result(experiment: str, rows: list[dict]) -> None:
+    """Collect one experiment's paper-vs-measured rows."""
+    _results[experiment] = rows
+
+
+def print_table(title: str, rows: list[dict]) -> None:
+    print(f"\n=== {title} ===")
+    if not rows:
+        return
+    keys = list(rows[0].keys())
+    widths = {
+        k: max(len(str(k)), *(len(_fmt(r.get(k))) for r in rows)) for k in keys
+    }
+    header = "  ".join(str(k).ljust(widths[k]) for k in keys)
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print("  ".join(_fmt(row.get(k)).ljust(widths[k]) for k in keys))
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e4 or abs(value) < 1e-3:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _dump_results():
+    yield
+    if _results:
+        existing = {}
+        if RESULTS_PATH.exists():
+            try:
+                existing = json.loads(RESULTS_PATH.read_text())
+            except json.JSONDecodeError:
+                existing = {}
+        existing.update(_results)
+        RESULTS_PATH.write_text(json.dumps(existing, indent=2, sort_keys=True))

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Disaster recovery: MV loss, checkpoint restore, and bare-discs rebuild.
+
+Long-term preservation must survive the death of everything *except* the
+discs (§2.3).  This example walks the two recovery ladders:
+
+1. **MV checkpoint** (§4.2): the metadata volume is periodically burned to
+   discs; after a total MV loss the newest snapshot is recovered by
+   scanning the checkpoint arrays (~minutes of robotics).
+2. **Bare-discs rebuild** (§4.4): with MV *and* all checkpoints gone, the
+   unique-file-path design lets OLFS reconstruct the entire namespace by
+   scanning the data discs themselves — directories, versions and split
+   files included.
+
+Plus the §4.7 scrub path: a disc develops a bad sector and is repaired
+from the array's parity disc.
+
+Run:  python examples/disaster_recovery.py
+"""
+
+from repro import ROS, OLFSConfig, units
+from repro.media.errors_model import SectorErrorModel
+from repro.sim.rng import DeterministicRNG
+
+
+def build() -> tuple[ROS, dict]:
+    config = OLFSConfig(
+        data_discs_per_array=3,
+        parity_discs_per_array=1,
+    ).scaled_for_tests(bucket_capacity=64 * 1024)
+    ros = ROS(config=config, roller_count=1,
+              buffer_volume_capacity=300 * units.MB)
+    payloads = {}
+    for index in range(10):
+        path = f"/vault/ledger/{2020 + index}/balance.db"
+        payloads[path] = f"ledger-{2020 + index}:".encode() * 1500
+        ros.write(path, payloads[path])
+    ros.flush()
+    return ros, payloads
+
+
+def main() -> None:
+    ros, payloads = build()
+    print(f"== vault burned: {ros.status()['arrays']['Used']} arrays, "
+          f"{len(payloads)} files ==")
+
+    print("\n== scenario 1: MV checkpoint + SSD failure ==")
+    ros.checkpoint_mv()
+    print("  checkpoint burned to disc")
+    before = set(ros.mv.all_index_paths())
+    ros.mv.load_snapshot(b'{"state": {}, "entries": []}')  # SSDs die
+    print(f"  MV wiped: {len(ros.mv.all_index_paths())} index files remain")
+    t0 = ros.now
+    snapshot_id, discs = ros.recover_mv()
+    print(f"  recovered snapshot {snapshot_id} from {discs} disc(s) in "
+          f"{(ros.now - t0) / 60:.1f} simulated minutes")
+    assert set(ros.mv.all_index_paths()) == before
+    sample = next(iter(payloads))
+    assert ros.read(sample).data == payloads[sample]
+    print(f"  namespace identical; {sample} verified")
+
+    print("\n== scenario 2: total loss — rebuild from bare discs ==")
+    ros.mv.load_snapshot(b'{"state": {}, "entries": []}')
+    images = ros.run(ros.recovery.collect_images_from_discs())
+    print(f"  scanned discs, recovered {len(images)} data images "
+          f"(t+{ros.now / 60:.1f} min)")
+    restored = ros.run(ros.recovery.reconstruct_namespace(images))
+    print(f"  namespace reconstructed: {restored} files")
+    for path, payload in payloads.items():
+        data = ros.read(path).data
+        assert data == payload, path
+    print(f"  all {len(payloads)} files verified byte-for-byte")
+
+    print("\n== scenario 3: bit rot on one disc, parity repair ==")
+    (roller, address) = next(iter(ros.mc.array_images))
+    images_here = ros.mc.array_images[(roller, address)]
+    victim = next(i for i in images_here if not i.startswith("par-"))
+    disc_id = ros.dim.record(victim).disc_id
+    tray = ros.mech.rollers[roller].tray_at(address)
+    disc = next(d for d in tray.discs() if d.disc_id == disc_id)
+    model = SectorErrorModel(DeterministicRNG(11), sector_error_rate=0.0)
+    model.corrupt_exact(disc, [disc.tracks[0].start_sector])
+    print(f"  injected bad sector on {disc_id} (image {victim})")
+    report = ros.run(ros.mi.scrub_array(roller, address, model))
+    print(f"  scrub: {report['checked']} discs checked, "
+          f"{report['errors']} error(s), repaired: {report['repaired']}")
+    ros.flush()  # the recovered data re-burns to a fresh array
+    for path, payload in payloads.items():
+        assert ros.read(path).data == payload, path
+    print("  all files still verify after repair + re-burn")
+
+    print(f"\nDone. Simulated elapsed: {ros.now / 3600:.2f} h")
+
+
+if __name__ == "__main__":
+    main()

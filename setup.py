@@ -1,0 +1,10 @@
+"""Legacy setup shim so `pip install -e .` works without network access.
+
+All project metadata lives in pyproject.toml; this file only exists because
+the offline environment ships a setuptools too old for PEP 660 editable
+installs.
+"""
+
+from setuptools import setup
+
+setup()

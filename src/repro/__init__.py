@@ -1,0 +1,29 @@
+"""ROS: a Rack-based Optical Storage system — full-system reproduction.
+
+Reproduces Yan et al., *ROS: A Rack-based Optical Storage System with
+Inline Accessibility for Long-Term Data Preservation* (EuroSys 2017):
+the OLFS file system, the rack mechanics (rollers, robotic arms, PLC),
+optical drives with calibrated burn curves, the SSD/HDD buffer tier, and
+every substrate needed to regenerate the paper's tables and figures —
+all on a deterministic discrete-event simulator.
+
+Quickstart::
+
+    from repro import ROS
+
+    ros = ROS()                       # a 2-roller, 1.16 PB-class rack
+    ros.write("/archive/a.bin", b"hello, 2076!")
+    print(ros.read("/archive/a.bin").data)
+    ros.flush()                       # seal buckets, burn disc arrays
+
+See ``examples/`` and DESIGN.md for the full tour.
+"""
+
+from repro.olfs import OLFS, OLFSConfig
+from repro.sim import Engine
+
+#: The friendly name for the assembled system.
+ROS = OLFS
+
+__all__ = ["Engine", "OLFS", "OLFSConfig", "ROS"]
+__version__ = "1.0.0"

@@ -1,0 +1,19 @@
+"""Baselines the paper compares against (§2.2, §3.2, §6).
+
+* :mod:`repro.baselines.magazine` — a magazine-based optical library
+  (Panasonic LB-DH8 style: fixed slots, 3-D robot, magazine cassettes);
+* :mod:`repro.baselines.archival` — a conventional backup/archival system
+  fronting a media library (offline catalog, staged restores);
+* :mod:`repro.baselines.ltfs` — IBM LTFS: POSIX directly on a single
+  linear tape.
+"""
+
+from repro.baselines.archival import ConventionalArchivalSystem
+from repro.baselines.ltfs import LTFSTapeModel
+from repro.baselines.magazine import MagazineLibraryModel
+
+__all__ = [
+    "ConventionalArchivalSystem",
+    "LTFSTapeModel",
+    "MagazineLibraryModel",
+]

@@ -1,0 +1,213 @@
+"""Operator console: ``python -m repro <command>``.
+
+Inspection tooling over the models — no persistent state, every command
+builds what it needs and prints a report:
+
+    demo         end-to-end write -> burn -> robotic fetch walkthrough
+    mechanics    Table-3 load/unload times for any layer
+    burncurve    Figure-8/10 speed curves for 25/100 GB media
+    stacks       Figure-6 throughput of every frontend configuration
+    tco          the §2.1 cost comparison, with adjustable scenario
+    reliability  §4.7 array error rates and §4.2 MV sizing
+    power        §5.1 power corner points
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import units
+
+
+def _print_rows(rows: list[dict]) -> None:
+    if not rows:
+        return
+    keys = list(rows[0].keys())
+    widths = {
+        key: max(len(str(key)), *(len(str(row.get(key, ""))) for row in rows))
+        for key in keys
+    }
+    print("  ".join(str(key).ljust(widths[key]) for key in keys))
+    for row in rows:
+        print("  ".join(str(row.get(key, "")).ljust(widths[key]) for key in keys))
+
+
+def cmd_demo(_args) -> int:
+    from repro import ROS, OLFSConfig
+
+    config = OLFSConfig(
+        data_discs_per_array=3, parity_discs_per_array=1
+    ).scaled_for_tests(bucket_capacity=64 * 1024)
+    ros = ROS(config=config, roller_count=1,
+              buffer_volume_capacity=200 * units.MB)
+    print("writing 9 files ...")
+    for index in range(9):
+        ros.write(f"/demo/file-{index}.bin", bytes([index]) * 9000)
+    print("burning ...")
+    ros.flush()
+    status = ros.status()
+    print(f"arrays used: {status['arrays']['Used']}, "
+          f"sim clock {ros.now / 60:.1f} min")
+    path = "/demo/file-0.bin"
+    ros.cache.evict(ros.stat(path)["locations"][0])
+    result = ros.read(path)
+    print(f"cold read via {result.source}: {result.total_seconds:.1f} s "
+          f"(first byte {result.first_byte_seconds * 1e3:.1f} ms)")
+    return 0
+
+
+def cmd_mechanics(args) -> int:
+    from repro.mechanics.timing import DEFAULT_TIMINGS
+
+    rows = []
+    for layer in args.layers:
+        fraction = layer / 84.0
+        rows.append(
+            {
+                "layer": layer,
+                "load_s": round(DEFAULT_TIMINGS.load_total(fraction), 2),
+                "unload_s": round(DEFAULT_TIMINGS.unload_total(fraction), 2),
+                "load_parallel_s": round(
+                    DEFAULT_TIMINGS.load_total(fraction, parallel=True), 2
+                ),
+            }
+        )
+    _print_rows(rows)
+    return 0
+
+
+def cmd_burncurve(args) -> int:
+    from repro.drives.speed import FailSafeCurve, ZonedCAVCurve
+    from repro.media.disc import BD25, BD100
+
+    if args.disc == 25:
+        curve, capacity = ZonedCAVCurve(), BD25.capacity
+    else:
+        curve, capacity = FailSafeCurve(seed=5), BD100.capacity
+    rows = [
+        {
+            "progress": f"{p:.0%}",
+            "speed_x": round(curve.speed_multiple(p / 1.0), 2),
+            "mb_s": round(
+                curve.speed_multiple(p) * units.BLU_RAY_1X / units.MB, 1
+            ),
+        }
+        for p in [i / 10 for i in range(11)]
+    ]
+    _print_rows(rows)
+    print(f"total burn: {curve.burn_seconds(capacity):.0f} s, "
+          f"average {curve.average_multiple(capacity):.2f}X")
+    return 0
+
+
+def cmd_stacks(_args) -> int:
+    from repro.frontend import CONFIGURATIONS, make_stack
+
+    base = make_stack("ext4")
+    rows = []
+    for name in CONFIGURATIONS:
+        stack = make_stack(name)
+        read, write = stack.normalized(base)
+        rows.append(
+            {
+                "config": name,
+                "read_mb_s": round(stack.read_throughput() / units.MB, 1),
+                "write_mb_s": round(stack.write_throughput() / units.MB, 1),
+                "norm_read": round(read, 3),
+                "norm_write": round(write, 3),
+            }
+        )
+    _print_rows(rows)
+    return 0
+
+
+def cmd_tco(args) -> int:
+    from repro.reliability.tco import TCOInputs, compare_all
+
+    inputs = TCOInputs(
+        capacity_pb=args.capacity_pb, horizon_years=args.years
+    )
+    rows = []
+    for name, data in compare_all(inputs).items():
+        rows.append(
+            {
+                "media": name,
+                "total_k$": round(data["total"] / 1000, 1),
+                "vs_optical": round(data["vs_optical"], 2),
+            }
+        )
+    print(f"scenario: {args.capacity_pb} PB for {args.years} years")
+    _print_rows(rows)
+    return 0
+
+
+def cmd_reliability(_args) -> int:
+    from repro.reliability import (
+        mv_capacity_bytes,
+        raid5_array_error_rate,
+        raid6_array_error_rate,
+    )
+
+    print(f"11+1 array error rate: {raid5_array_error_rate():.2e}")
+    print(f"10+2 array error rate: {raid6_array_error_rate():.2e}")
+    print(f"MV for 1B files + 1B dirs: "
+          f"{mv_capacity_bytes() / units.TB:.2f} TB")
+    return 0
+
+
+def cmd_power(_args) -> int:
+    from repro.power import PowerModel
+
+    print(f"idle power: {PowerModel.idle_power_w():.0f} W")
+    print(f"peak power: {PowerModel.peak_power_w():.0f} W")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="ROS reproduction operator console",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("demo", help="end-to-end walkthrough").set_defaults(
+        handler=cmd_demo
+    )
+
+    mech = sub.add_parser("mechanics", help="Table-3 timings by layer")
+    mech.add_argument(
+        "--layers", type=int, nargs="+", default=[0, 42, 84]
+    )
+    mech.set_defaults(handler=cmd_mechanics)
+
+    burn = sub.add_parser("burncurve", help="Figure-8/10 burn curves")
+    burn.add_argument("--disc", type=int, choices=(25, 100), default=25)
+    burn.set_defaults(handler=cmd_burncurve)
+
+    sub.add_parser("stacks", help="Figure-6 stack throughput").set_defaults(
+        handler=cmd_stacks
+    )
+
+    tco = sub.add_parser("tco", help="§2.1 cost comparison")
+    tco.add_argument("--years", type=float, default=100.0)
+    tco.add_argument("--capacity-pb", type=float, default=1.0)
+    tco.set_defaults(handler=cmd_tco)
+
+    sub.add_parser(
+        "reliability", help="§4.7 error rates + §4.2 MV sizing"
+    ).set_defaults(handler=cmd_reliability)
+
+    sub.add_parser("power", help="§5.1 power corner points").set_defaults(
+        handler=cmd_power
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,161 @@
+"""Multi-rack federation (§2.3's datacenter-integration motivation).
+
+"Optical libraries should provide a persistent online view of their data
+so that the data can be shared by external clients using standard storage
+interfaces that can be easily integrated and scaled in cloud datacenters."
+
+A :class:`RackCluster` federates several ROS racks behind one namespace:
+paths route to a home rack by rendezvous (highest-random-weight) hashing,
+optional synchronous replication writes each file to ``replicas``
+additional racks, and reads fail over when a rack is marked down.  All
+racks share one simulation engine, so cluster-wide timing is coherent.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional
+
+from repro.errors import FileNotFoundOLFSError, ROSError
+from repro.olfs.config import OLFSConfig
+from repro.olfs.filesystem import OLFS
+from repro.sim.engine import Engine
+
+
+class RackDownError(ROSError):
+    """Raised when no rack holding a file is reachable."""
+
+
+class RackCluster:
+    """Several ROS racks behind one namespace."""
+
+    def __init__(
+        self,
+        rack_count: int = 2,
+        replicas: int = 0,
+        config: Optional[OLFSConfig] = None,
+        engine: Optional[Engine] = None,
+        **rack_kwargs,
+    ):
+        if rack_count < 1:
+            raise ValueError("need at least one rack")
+        if replicas >= rack_count:
+            raise ValueError("replicas must be below the rack count")
+        self.engine = engine or Engine()
+        self.replicas = replicas
+        self.racks = [
+            OLFS(config=config, engine=self.engine, **rack_kwargs)
+            for _ in range(rack_count)
+        ]
+        self._down: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Placement: rendezvous hashing (stable under rack addition)
+    # ------------------------------------------------------------------
+    def placement(self, path: str) -> list[int]:
+        """Rack indices for ``path``: home first, then replicas."""
+        scores = []
+        for index in range(len(self.racks)):
+            digest = hashlib.sha256(f"{index}:{path}".encode()).digest()
+            scores.append((digest, index))
+        ranked = [index for _, index in sorted(scores)]
+        return ranked[: self.replicas + 1]
+
+    def home_rack(self, path: str) -> int:
+        return self.placement(path)[0]
+
+    # ------------------------------------------------------------------
+    # Availability management
+    # ------------------------------------------------------------------
+    def fail_rack(self, index: int) -> None:
+        """Mark a rack unreachable (power/network loss)."""
+        self._down.add(index)
+
+    def restore_rack(self, index: int) -> None:
+        self._down.discard(index)
+
+    def _alive(self, indices: list[int]) -> list[int]:
+        return [index for index in indices if index not in self._down]
+
+    # ------------------------------------------------------------------
+    # Namespace operations
+    # ------------------------------------------------------------------
+    def write(self, path: str, data: bytes, logical_size=None):
+        """Write to the home rack and every replica (synchronous)."""
+        targets = self._alive(self.placement(path))
+        if not targets:
+            raise RackDownError(f"no rack available for {path!r}")
+        traces = []
+        for index in targets:
+            traces.append(self.racks[index].write(path, data, logical_size))
+        return traces[0]
+
+    def read(self, path: str):
+        """Read from the first reachable holder."""
+        last_error: Optional[Exception] = None
+        for index in self._alive(self.placement(path)):
+            try:
+                return self.racks[index].read(path)
+            except FileNotFoundOLFSError as error:
+                last_error = error
+        if last_error is not None:
+            raise last_error
+        raise RackDownError(f"every rack holding {path!r} is down")
+
+    def stat(self, path: str) -> dict:
+        for index in self._alive(self.placement(path)):
+            try:
+                return self.racks[index].stat(path)
+            except FileNotFoundOLFSError:
+                continue
+        raise FileNotFoundOLFSError(f"{path!r}: not in the cluster")
+
+    def readdir(self, path: str) -> list[str]:
+        """Union of the directory's entries across reachable racks."""
+        names: set[str] = set()
+        found = False
+        for index, rack in enumerate(self.racks):
+            if index in self._down:
+                continue
+            try:
+                names.update(rack.readdir(path))
+                found = True
+            except FileNotFoundOLFSError:
+                continue
+        if not found:
+            raise FileNotFoundOLFSError(f"{path!r}: not in the cluster")
+        return sorted(names)
+
+    def unlink(self, path: str) -> None:
+        removed = False
+        for index in self._alive(self.placement(path)):
+            try:
+                self.racks[index].unlink(path)
+                removed = True
+            except FileNotFoundOLFSError:
+                continue
+        if not removed:
+            raise FileNotFoundOLFSError(f"{path!r}: not in the cluster")
+
+    # ------------------------------------------------------------------
+    def flush(self) -> int:
+        return sum(
+            rack.flush()
+            for index, rack in enumerate(self.racks)
+            if index not in self._down
+        )
+
+    def status(self) -> dict:
+        per_rack = [
+            None if index in self._down else rack.status()
+            for index, rack in enumerate(self.racks)
+        ]
+        alive = [s for s in per_rack if s is not None]
+        return {
+            "racks": len(self.racks),
+            "down": sorted(self._down),
+            "replicas": self.replicas,
+            "discs_total": sum(s["discs_total"] for s in alive),
+            "arrays_used": sum(s["arrays"]["Used"] for s in alive),
+            "per_rack": per_rack,
+        }

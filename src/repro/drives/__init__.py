@@ -1,0 +1,21 @@
+"""Optical drives: recording-speed curves, the drive state machine, sets."""
+
+from repro.drives.speed import (
+    FailSafeCurve,
+    RecordingCurve,
+    ZonedCAVCurve,
+    curve_for,
+)
+from repro.drives.drive import DriveState, OpticalDrive
+from repro.drives.drive_set import BurnThrottle, DriveSet
+
+__all__ = [
+    "BurnThrottle",
+    "DriveSet",
+    "DriveState",
+    "FailSafeCurve",
+    "OpticalDrive",
+    "RecordingCurve",
+    "ZonedCAVCurve",
+    "curve_for",
+]

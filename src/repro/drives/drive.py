@@ -1,0 +1,302 @@
+"""The optical drive state machine.
+
+Models a Pioneer BDR-S09XLB-class half-height SATA drive (§5.1): tray
+load/eject, spin-up from sleep (~2 s), mounting the disc's file system into
+the local VFS (~220 ms), file seeks (~100 ms), streaming reads at the
+media's sustained rate, and burning along a calibrated
+:class:`~repro.drives.speed.RecordingCurve`.
+
+Burns are *interruptible* between piecewise segments: the interrupt-burn
+read policy (§4.8) asks a busy drive to stop, the partial image is committed
+as a Pseudo-Over-Write track, and the remainder is appended later.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Generator, Optional, TYPE_CHECKING
+
+from repro import units
+from repro.errors import DriveError
+from repro.drives.speed import RecordingCurve, curve_for
+from repro.media.disc import OpticalDisc, Track
+from repro.sim.engine import Delay, Engine
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.drives.drive_set import BurnThrottle
+
+#: Spin-up delay when a sleeping drive mounts a disc (§5.4).
+SPIN_UP_SECONDS = 2.0
+#: Mounting the disc's file system into the local VFS (§5.4).
+VFS_MOUNT_SECONDS = 0.220
+#: Seeking a file on the disc (§5.4).
+FILE_SEEK_SECONDS = 0.100
+#: Peak drive power (§5.1), used by the power accounting.
+DRIVE_PEAK_POWER_W = 8.0
+
+
+class DriveState(enum.Enum):
+    EMPTY = "empty"
+    TRAY_OPEN = "tray-open"
+    SLEEPING = "sleeping"  # disc present, spindle stopped
+    IDLE = "idle"  # disc present and spinning
+    MOUNTED = "mounted"  # disc file system visible in local VFS
+    BURNING = "burning"
+    READING = "reading"
+
+
+@dataclass
+class BurnResult:
+    """Outcome of a burn: completion flag, bytes/seconds, and the track."""
+
+    completed: bool
+    burned_bytes: float
+    elapsed_seconds: float
+    track: Optional[Track]
+
+
+class OpticalDrive:
+    """One optical drive: a slot in a drive set, addressable by the arm."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        drive_id: str,
+        read_efficiency: float = 1.0,
+    ):
+        self.engine = engine
+        self.drive_id = drive_id
+        self.state = DriveState.EMPTY
+        self.disc: Optional[OpticalDisc] = None
+        #: multiplier (<= 1) on read throughput from HBA arbitration
+        self.read_efficiency = read_efficiency
+        self.busy_seconds = 0.0
+        self._interrupt_requested = False
+        #: test/maintenance hook: the next burn fails mid-write (a bad
+        #: disc or a drive fault), exercising the DAindex Failed path
+        self.inject_burn_failure = False
+        #: spindle power policy: after this many idle seconds the drive
+        #: drops to SLEEPING and the next access pays the 2 s spin-up
+        #: (§5.4: the spin-up and VFS mount "occur only when the drive is
+        #: in the sleep state"); None = stay spinning
+        self.idle_sleep_seconds = None
+        self._last_active = engine.now
+        # Right after a VFS mount the head sits on the freshly-read
+        # metadata, so the first file access needs no separate seek —
+        # matching Table 1's 0.223 s disc-in-drive row (220 ms mount + MV).
+        self._just_mounted = False
+
+    # ------------------------------------------------------------------
+    # Tray + disc handling (instantaneous: the mechanical constants of the
+    # arm's separate/collect phases already include drive-tray actuation)
+    # ------------------------------------------------------------------
+    def open_tray(self) -> None:
+        if self.state in (DriveState.BURNING, DriveState.READING):
+            raise DriveError(f"{self.drive_id}: busy, cannot open tray")
+        self.state = DriveState.TRAY_OPEN
+
+    def insert_disc(self, disc: OpticalDisc) -> None:
+        if self.state is not DriveState.TRAY_OPEN:
+            raise DriveError(f"{self.drive_id}: tray is not open")
+        if self.disc is not None:
+            raise DriveError(f"{self.drive_id}: already holds a disc")
+        self.disc = disc
+        self.state = DriveState.TRAY_OPEN
+
+    def close_tray(self) -> None:
+        if self.state is not DriveState.TRAY_OPEN:
+            raise DriveError(f"{self.drive_id}: tray is not open")
+        self.state = DriveState.SLEEPING if self.disc else DriveState.EMPTY
+
+    def remove_disc(self) -> OpticalDisc:
+        if self.state is not DriveState.TRAY_OPEN:
+            raise DriveError(f"{self.drive_id}: tray is not open")
+        if self.disc is None:
+            raise DriveError(f"{self.drive_id}: no disc to remove")
+        disc, self.disc = self.disc, None
+        return disc
+
+    def sleep(self) -> None:
+        """Stop the spindle (drives sleep when idle to save power)."""
+        if self.state in (DriveState.IDLE, DriveState.MOUNTED):
+            self.state = DriveState.SLEEPING
+
+    @property
+    def has_disc(self) -> bool:
+        return self.disc is not None
+
+    @property
+    def is_busy(self) -> bool:
+        return self.state in (DriveState.BURNING, DriveState.READING)
+
+    @property
+    def is_free_for_load(self) -> bool:
+        return not self.has_disc and not self.is_busy
+
+    # ------------------------------------------------------------------
+    # Spin-up and mounting
+    # ------------------------------------------------------------------
+    def _apply_idle_policy(self) -> None:
+        """Drop a long-idle drive to SLEEPING (lazy evaluation)."""
+        if (
+            self.idle_sleep_seconds is not None
+            and self.state in (DriveState.IDLE, DriveState.MOUNTED)
+            and self.engine.now - self._last_active >= self.idle_sleep_seconds
+        ):
+            self.state = DriveState.SLEEPING
+            self._just_mounted = False
+
+    def ensure_spinning(self) -> Generator:
+        """Spin up from sleep (2 s); no-op if already spinning."""
+        self._require_disc()
+        self._apply_idle_policy()
+        if self.state is DriveState.SLEEPING:
+            yield Delay(SPIN_UP_SECONDS)
+            self.busy_seconds += SPIN_UP_SECONDS
+            self.state = DriveState.IDLE
+        self._last_active = self.engine.now
+
+    def mount(self) -> Generator:
+        """Make the disc's fs visible in the local VFS (220 ms)."""
+        self._require_disc()
+        yield from self.ensure_spinning()
+        if self.state is not DriveState.MOUNTED:
+            yield Delay(VFS_MOUNT_SECONDS)
+            self.busy_seconds += VFS_MOUNT_SECONDS
+            self.state = DriveState.MOUNTED
+            self._just_mounted = True
+        self._last_active = self.engine.now
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def read_rate(self) -> float:
+        """Sustained read rate in bytes/second for the loaded media."""
+        self._require_disc()
+        return self.disc.disc_type.read_speed_mbs * units.MB * self.read_efficiency
+
+    def seek(self) -> Generator:
+        """Position the optical head on a file (100 ms).
+
+        Free immediately after a mount (head already on the metadata).
+        """
+        self._require_disc()
+        if self._just_mounted:
+            self._just_mounted = False
+            return
+        yield Delay(FILE_SEEK_SECONDS)
+        self.busy_seconds += FILE_SEEK_SECONDS
+        self._last_active = self.engine.now
+
+    def read_bytes(self, nbytes: float) -> Generator:
+        """Stream ``nbytes`` from the mounted disc (state: READING)."""
+        if self.state is not DriveState.MOUNTED:
+            raise DriveError(f"{self.drive_id}: disc not mounted")
+        seconds = nbytes / self.read_rate()
+        self.state = DriveState.READING
+        try:
+            yield Delay(seconds)
+        finally:
+            self.busy_seconds += seconds
+            self.state = DriveState.MOUNTED
+            self._last_active = self.engine.now
+
+    def read_track_payload(self, track_index: int) -> Generator:
+        """Read a full track: stream its logical size, return real payload."""
+        self._require_disc()
+        track = self.disc.tracks[track_index]
+        yield from self.read_bytes(track.logical_size)
+        return self.disc.read_track(track_index)
+
+    # ------------------------------------------------------------------
+    # Burning
+    # ------------------------------------------------------------------
+    def request_interrupt(self) -> None:
+        """Ask a burning drive to stop at the next segment boundary."""
+        if self.state is not DriveState.BURNING:
+            raise DriveError(f"{self.drive_id}: not burning")
+        self._interrupt_requested = True
+
+    def burn(
+        self,
+        payload: bytes,
+        logical_size: Optional[int] = None,
+        label: str = "",
+        close: bool = True,
+        curve: Optional[RecordingCurve] = None,
+        throttle: Optional["BurnThrottle"] = None,
+        segment_count: int = 120,
+    ) -> Generator:
+        """Burn one image as a track; yields until done or interrupted.
+
+        Returns a :class:`BurnResult`.  When interrupted mid-burn, the
+        burned prefix is committed as an open (POW) track labelled
+        ``label + '.partial'`` and ``completed`` is False.
+        """
+        self._require_disc()
+        if self.is_busy:
+            raise DriveError(f"{self.drive_id}: drive is busy")
+        yield from self.ensure_spinning()
+        size = len(payload) if logical_size is None else int(logical_size)
+        if curve is None:
+            # Seed fail-safe dip placement stably from the disc's identity.
+            import zlib
+
+            seed = zlib.crc32(self.disc.disc_id.encode()) & 0xFFFF
+            curve = curve_for(self.disc.disc_type, seed=seed)
+        start_progress = self.disc.used_bytes / self.disc.capacity
+        self.state = DriveState.BURNING
+        self._interrupt_requested = False
+        started = self.engine.now
+        burned = 0.0
+        try:
+            for segment in curve.segments(size, start_progress, segment_count):
+                rate = units.bd_speed(segment.speed_multiple)
+                factor = 1.0
+                if throttle is not None:
+                    throttle.update(self, rate)
+                    factor = throttle.factor()
+                yield Delay(segment.seconds / factor)
+                burned += segment.nbytes
+                if self.inject_burn_failure:
+                    self.inject_burn_failure = False
+                    raise DriveError(
+                        f"{self.drive_id}: write error at "
+                        f"{segment.end_progress:.0%} (injected fault)"
+                    )
+                if self._interrupt_requested:
+                    break
+        finally:
+            if throttle is not None:
+                throttle.remove(self)
+            self.busy_seconds += self.engine.now - started
+            self.state = DriveState.IDLE
+            self._last_active = self.engine.now
+        interrupted = self._interrupt_requested
+        self._interrupt_requested = False
+        if interrupted:
+            fraction = burned / size if size else 1.0
+            partial_payload = payload[: int(len(payload) * fraction)]
+            track = self.disc.burn_track(
+                partial_payload,
+                logical_size=int(burned),
+                label=f"{label}.partial",
+                close=False,
+            )
+            return BurnResult(False, burned, self.engine.now - started, track)
+        track = self.disc.burn_track(
+            payload, logical_size=size, label=label, close=close
+        )
+        return BurnResult(True, float(size), self.engine.now - started, track)
+
+    # ------------------------------------------------------------------
+    def _require_disc(self) -> None:
+        if self.disc is None:
+            raise DriveError(f"{self.drive_id}: no disc loaded")
+        if self.state is DriveState.TRAY_OPEN:
+            raise DriveError(f"{self.drive_id}: tray is open")
+
+    def __repr__(self) -> str:
+        disc = self.disc.disc_id if self.disc else "-"
+        return f"<OpticalDrive {self.drive_id} {self.state.value} disc={disc}>"

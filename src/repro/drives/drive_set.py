@@ -1,0 +1,258 @@
+"""Drive sets: 12 drives sharing an HBA, plus the burn-bandwidth throttle.
+
+ROS groups optical drives into sets of 12 (§3.3) matching the 12-disc tray;
+each set hangs off PCIe3.0 HBA lanes.  Two set-level effects matter to the
+evaluation:
+
+* **Aggregate read efficiency** — twelve concurrent readers reach ~97.5 %
+  of 12x the single-drive rate (Table 2: 282.5 vs 12*24.1 = 289.2 MB/s),
+  modelled as a small per-drive arbitration penalty.
+* **Burn staging and ceiling** — drives in an array burn do not all start
+  together: the controller stages one image stream at a time (~38 s for a
+  25 GB image off the disk buffer), and the shared streaming path tops out
+  around 380 MB/s (Figure 9's short-lived peak).  Modelled as a start
+  stagger plus a :class:`BurnThrottle` that scales every active burn by
+  ``min(1, cap / total_demand)``.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro import units
+from repro.errors import DriveError
+from repro.drives.drive import BurnResult, OpticalDrive
+from repro.drives.speed import RecordingCurve
+from repro.media.disc import OpticalDisc
+from repro.sim.engine import AllOf, Delay, Engine, Spawn
+
+#: Drives per set, matching the 12-disc tray (§3.3).
+DRIVES_PER_SET = 12
+
+#: Aggregate-read arbitration efficiency (Table 2 calibration).
+DEFAULT_READ_EFFICIENCY = 0.975
+
+#: Shared streaming ceiling for concurrent burns (Figure 9 peak).
+DEFAULT_BURN_CAP = 380 * units.MB
+
+#: Image staging serialization between drive starts in an array burn.
+DEFAULT_BURN_STAGGER_SECONDS = 38.0
+
+
+class BurnThrottle:
+    """Scales concurrent burns by ``min(1, cap / total nominal demand)``.
+
+    Demand is re-declared by each drive at every burn segment, so the
+    factor tracks the CAV ramps: early segments are slow and uncontended,
+    late segments would exceed the cap and get squeezed — reproducing the
+    flat-topped aggregate curve of Figure 9.
+    """
+
+    def __init__(self, cap_bytes_per_s: float = DEFAULT_BURN_CAP):
+        if cap_bytes_per_s <= 0:
+            raise ValueError("cap must be positive")
+        self.cap = float(cap_bytes_per_s)
+        self._demand: dict[object, float] = {}
+
+    def update(self, owner: object, rate_bytes_per_s: float) -> None:
+        self._demand[owner] = float(rate_bytes_per_s)
+
+    def remove(self, owner: object) -> None:
+        self._demand.pop(owner, None)
+
+    @property
+    def total_demand(self) -> float:
+        return sum(self._demand.values())
+
+    def factor(self) -> float:
+        demand = self.total_demand
+        if demand <= self.cap:
+            return 1.0
+        return self.cap / demand
+
+
+class DriveSet:
+    """Twelve drives addressed together by the arm and the burn scheduler."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        set_id: int = 0,
+        drive_count: int = DRIVES_PER_SET,
+        read_efficiency: float = DEFAULT_READ_EFFICIENCY,
+        burn_cap_bytes_per_s: float = DEFAULT_BURN_CAP,
+        burn_stagger_seconds: float = DEFAULT_BURN_STAGGER_SECONDS,
+    ):
+        self.engine = engine
+        self.set_id = set_id
+        self.drives = [
+            OpticalDrive(engine, f"set{set_id}-drive{index:02d}")
+            for index in range(drive_count)
+        ]
+        self._solo_read_efficiency = 1.0
+        self._group_read_efficiency = read_efficiency
+        self.throttle = BurnThrottle(burn_cap_bytes_per_s)
+        self.burn_stagger_seconds = burn_stagger_seconds
+        #: tray address currently checked out into this set, if any
+        self.loaded_from: Optional[tuple[int, tuple[int, int]]] = None
+
+    def __len__(self) -> int:
+        return len(self.drives)
+
+    # ------------------------------------------------------------------
+    # Occupancy
+    # ------------------------------------------------------------------
+    @property
+    def is_empty(self) -> bool:
+        return all(not drive.has_disc for drive in self.drives)
+
+    @property
+    def is_busy(self) -> bool:
+        return any(drive.is_busy for drive in self.drives)
+
+    @property
+    def is_burning(self) -> bool:
+        from repro.drives.drive import DriveState
+
+        return any(drive.state is DriveState.BURNING for drive in self.drives)
+
+    def discs(self) -> list[OpticalDisc]:
+        return [drive.disc for drive in self.drives if drive.disc is not None]
+
+    def find_disc(self, disc_id: str) -> Optional[OpticalDrive]:
+        for drive in self.drives:
+            if drive.disc is not None and drive.disc.disc_id == disc_id:
+                return drive
+        return None
+
+    def set_group_read_mode(self, concurrent_readers: int) -> None:
+        """Apply the arbitration penalty when >1 drive reads concurrently."""
+        efficiency = (
+            self._group_read_efficiency
+            if concurrent_readers > 1
+            else self._solo_read_efficiency
+        )
+        for drive in self.drives:
+            drive.read_efficiency = efficiency
+
+    # ------------------------------------------------------------------
+    # Array operations (simulation processes)
+    # ------------------------------------------------------------------
+    def open_all_trays(self) -> None:
+        for drive in self.drives:
+            if drive.has_disc or drive.is_busy:
+                raise DriveError(
+                    f"set {self.set_id}: drive {drive.drive_id} not free"
+                )
+            drive.open_tray()
+
+    def eject_all(self) -> list[OpticalDisc]:
+        """Open every tray and pull the discs (mechanics collects them)."""
+        discs = []
+        for drive in self.drives:
+            if drive.is_busy:
+                raise DriveError(
+                    f"set {self.set_id}: drive {drive.drive_id} is busy"
+                )
+            if drive.disc is None:
+                continue
+            drive.open_tray()
+            discs.append(drive.remove_disc())
+            drive.close_tray()
+        return discs
+
+    def burn_array(
+        self,
+        images: list[tuple[bytes, Optional[int], str]],
+        close: bool = True,
+        curves: Optional[list[RecordingCurve]] = None,
+        stagger_seconds: Optional[float] = None,
+        abort_check=None,
+    ) -> Generator:
+        """Burn one image per drive with staged starts; returns results.
+
+        ``images`` is a list of ``(payload, logical_size, label)`` tuples,
+        one per drive in order; a ``None`` entry skips that drive (its disc
+        is already fully burned).  Returns ``list[BurnResult]`` aligned
+        with the input (``None`` for skipped drives).
+        """
+        if len(images) > len(self.drives):
+            raise DriveError(
+                f"{len(images)} images exceed {len(self.drives)} drives"
+            )
+        stagger = (
+            self.burn_stagger_seconds
+            if stagger_seconds is None
+            else stagger_seconds
+        )
+
+        def one(index: int, drive: OpticalDrive, image) -> Generator:
+            payload, logical_size, label = image
+            # Staging delay, abortable in slices so an interrupt-burn
+            # request (§4.8) is not stuck behind a long stagger.
+            remaining = index * stagger
+            while remaining > 0:
+                step = min(5.0, remaining)
+                yield Delay(step)
+                remaining -= step
+                if abort_check is not None and abort_check():
+                    return None
+            if abort_check is not None and abort_check():
+                return None
+            curve = curves[index] if curves else None
+            result = yield from drive.burn(
+                payload,
+                logical_size=logical_size,
+                label=label,
+                close=close,
+                curve=curve,
+                throttle=self.throttle,
+            )
+            return result
+
+        processes = []
+        slots = []
+        for index, image in enumerate(images):
+            if image is None:
+                continue
+            drive = self.drives[index]
+            if drive.disc is None:
+                raise DriveError(f"{drive.drive_id}: no disc for burn")
+            processes.append(
+                (yield Spawn(one(index, drive, image), name=f"burn-{index}"))
+            )
+            slots.append(index)
+        completed: list[Optional[BurnResult]] = yield AllOf(processes)
+        results: list[Optional[BurnResult]] = [None] * len(images)
+        for index, result in zip(slots, completed):
+            results[index] = result
+        return results
+
+    def read_all_tracks(self, track_index: int = 0) -> Generator:
+        """Read one full track from every loaded disc concurrently.
+
+        Returns ``list[bytes]`` payloads in drive order.  Models Table 2's
+        aggregate-read experiment.
+        """
+        loaded = [drive for drive in self.drives if drive.has_disc]
+        self.set_group_read_mode(len(loaded))
+
+        def one(drive: OpticalDrive) -> Generator:
+            yield from drive.mount()
+            yield from drive.seek()
+            payload = yield from drive.read_track_payload(track_index)
+            return payload
+
+        processes = []
+        for drive in loaded:
+            processes.append((yield Spawn(one(drive), name=drive.drive_id)))
+        payloads = yield AllOf(processes)
+        self.set_group_read_mode(1)
+        return payloads
+
+    def __repr__(self) -> str:
+        return (
+            f"<DriveSet {self.set_id}: "
+            f"{sum(1 for d in self.drives if d.has_disc)}/{len(self.drives)} "
+            f"loaded>"
+        )

@@ -1,0 +1,16 @@
+"""Frontend stacks: ext4, FUSE, Samba and the 10GbE NAS path.
+
+OLFS reaches clients through a stack of software layers (§4.8, §5.3):
+ext4 on the RAID-5 buffer underneath, FUSE carrying OLFS into the kernel's
+VFS, and Samba/CIFS exporting it over 10GbE.  This package models each
+layer's cost and composes the five Figure-6 configurations.
+"""
+
+from repro.frontend.layers import Layer
+from repro.frontend.stack import (
+    CONFIGURATIONS,
+    FilesystemStack,
+    make_stack,
+)
+
+__all__ = ["CONFIGURATIONS", "FilesystemStack", "Layer", "make_stack"]

@@ -1,0 +1,146 @@
+"""Stack composition: the five Figure-6 configurations.
+
+``FilesystemStack`` composes layers with the §5.3 rules (additive
+synchronous reads, min-rate pipelined writes, per-op overheads) and can
+drive a filebench-style singlestream through the simulation clock.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro import units
+from repro.frontend.layers import (
+    EXT4,
+    FUSE,
+    FUSE_4K,
+    OLFS_LAYER,
+    SAMBA,
+    Layer,
+)
+from repro.sim.engine import Delay, Engine
+
+_FUSE_NAMES = ("fuse", "fuse-4k", "olfs")
+
+
+class FilesystemStack:
+    """An ordered pile of layers, bottom (ext4) first."""
+
+    def __init__(self, name: str, layers: list[Layer]):
+        if not layers:
+            raise ValueError("a stack needs at least one layer")
+        self.name = name
+        self.layers = list(layers)
+
+    # ------------------------------------------------------------------
+    # Composition rules
+    # ------------------------------------------------------------------
+    def _has_fuse_below(self, upper: Layer) -> bool:
+        index = self.layers.index(upper)
+        return any(
+            layer.name in _FUSE_NAMES for layer in self.layers[:index]
+        )
+
+    def read_seconds_per_byte(self) -> float:
+        total = 0.0
+        for layer in self.layers:
+            total += layer.read_seconds_per_byte
+            if (
+                layer.fuse_interaction_read_seconds_per_byte
+                and self._has_fuse_below(layer)
+            ):
+                total += layer.fuse_interaction_read_seconds_per_byte
+        return total
+
+    def read_throughput(self) -> float:
+        """Sustained sequential read rate, bytes/second."""
+        return 1.0 / self.read_seconds_per_byte()
+
+    def write_throughput(self) -> float:
+        """Sustained sequential write rate, bytes/second (pipelined)."""
+        return min(layer.write_rate_cap for layer in self.layers)
+
+    def per_op_seconds(self) -> float:
+        return sum(layer.per_op_seconds for layer in self.layers)
+
+    def extra_write_stats(self) -> int:
+        return sum(layer.extra_write_stats for layer in self.layers)
+
+    def normalized(self, baseline: "FilesystemStack") -> tuple[float, float]:
+        """(read, write) throughput normalized to ``baseline`` (Figure 6)."""
+        return (
+            self.read_throughput() / baseline.read_throughput(),
+            self.write_throughput() / baseline.write_throughput(),
+        )
+
+    # ------------------------------------------------------------------
+    # Simulation integration
+    # ------------------------------------------------------------------
+    def attach(self, posix_interface) -> None:
+        """Configure a POSIX interface with this stack's per-op costs."""
+        posix_interface.frontend_per_op_seconds = self.per_op_seconds()
+        posix_interface.frontend_extra_write_stats = self.extra_write_stats()
+
+    def shared_pipes(self, engine: Engine) -> dict:
+        """Contended transfer pipes at this stack's sustained rates.
+
+        Concurrent clients share them processor-style — the multi-client
+        NAS scenario (§3.3: "providing more than 1 GB/s external
+        throughput ... suitable for datacenter environments").
+        """
+        from repro.sim.bandwidth import SharedBandwidth
+
+        return {
+            "read": SharedBandwidth(
+                engine, self.read_throughput(), name=f"{self.name}-read"
+            ),
+            "write": SharedBandwidth(
+                engine, self.write_throughput(), name=f"{self.name}-write"
+            ),
+        }
+
+    def singlestream(
+        self,
+        engine: Engine,
+        total_bytes: float,
+        io_size: float = 1 * units.MB,
+        direction: str = "read",
+    ) -> Generator:
+        """Run a filebench singlestream workload (timed); returns MB/s."""
+        if direction not in ("read", "write"):
+            raise ValueError(f"bad direction {direction!r}")
+        start = engine.now
+        requests = max(1, int(total_bytes / io_size))
+        if direction == "read":
+            per_request = io_size * self.read_seconds_per_byte()
+        else:
+            per_request = io_size / self.write_throughput()
+        # Metadata-op overhead applies at file open/close, not per chunk
+        # of an already-open stream.
+        yield Delay(self.per_op_seconds())
+        for _ in range(requests):
+            yield Delay(per_request)
+        elapsed = engine.now - start
+        return total_bytes / elapsed / units.MB
+
+
+def make_stack(name: str) -> FilesystemStack:
+    """One of the five §5.3 configurations (plus ablation variants)."""
+    if name not in CONFIGURATIONS:
+        raise KeyError(
+            f"unknown configuration {name!r}; pick from {sorted(CONFIGURATIONS)}"
+        )
+    return FilesystemStack(name, CONFIGURATIONS[name])
+
+
+CONFIGURATIONS: dict[str, list[Layer]] = {
+    "ext4": [EXT4],
+    "ext4+FUSE": [EXT4, FUSE],
+    "ext4+OLFS": [EXT4, FUSE, OLFS_LAYER],
+    "samba": [EXT4, SAMBA],
+    "samba+FUSE": [EXT4, FUSE, SAMBA],
+    "samba+OLFS": [EXT4, FUSE, OLFS_LAYER, SAMBA],
+    # Ablation variants (§4.8)
+    "ext4+FUSE-4k": [EXT4, FUSE_4K],
+    "ext4+OLFS-4k": [EXT4, FUSE_4K, OLFS_LAYER],
+}

@@ -1,0 +1,22 @@
+"""Alternative access interfaces over the OLFS namespace (§4.2).
+
+"This namespace mapping mechanism can also be extended to support other
+mainstream access interfaces such as key-value, objected storage, and
+REST.  OLFS can also provide a block-level interface via the iSCSI
+protocol."  These adapters implement that extension: each maps its
+protocol's namespace onto OLFS's global file namespace, inheriting the
+tiering, burning, redundancy and recovery machinery for free.
+"""
+
+from repro.interfaces.kv import KeyValueInterface
+from repro.interfaces.objectstore import ObjectStoreInterface
+from repro.interfaces.block import BlockDeviceInterface
+from repro.interfaces.rest import Response, RestGateway
+
+__all__ = [
+    "BlockDeviceInterface",
+    "KeyValueInterface",
+    "ObjectStoreInterface",
+    "Response",
+    "RestGateway",
+]

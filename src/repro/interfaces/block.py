@@ -1,0 +1,113 @@
+"""Block-level (iSCSI-style) interface over OLFS (§4.2 extension).
+
+A LUN is a fixed-size virtual disk chunked into extents; each extent is
+one OLFS file, so the LUN inherits tiering, burning and redundancy.
+Random 512-byte-sector reads/writes translate into extent reads and
+read-modify-write updates — coarse but faithful to how an archival iSCSI
+gateway over WORM media must behave (updates regenerate extents, old
+extent versions remain for provenance).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import FileNotFoundOLFSError
+
+SECTOR = 512
+
+
+class BlockDeviceInterface:
+    """One exported LUN backed by OLFS extent files."""
+
+    def __init__(
+        self,
+        ros,
+        lun_name: str,
+        size: int,
+        extent_size: int = 256 * 1024,
+        root: str = "/luns",
+    ):
+        if size <= 0 or extent_size <= 0:
+            raise ValueError("size and extent size must be positive")
+        if extent_size % SECTOR:
+            raise ValueError("extent size must be sector-aligned")
+        self.ros = ros
+        self.lun_name = lun_name
+        self.size = int(size)
+        self.extent_size = int(extent_size)
+        self.root = f"{root.rstrip('/')}/{lun_name}"
+        self.reads = 0
+        self.writes = 0
+
+    @property
+    def extent_count(self) -> int:
+        return -(-self.size // self.extent_size)
+
+    def _extent_path(self, index: int) -> str:
+        return f"{self.root}/extent-{index:08d}.bin"
+
+    def _read_extent(self, index: int) -> bytes:
+        try:
+            data = self.ros.read(self._extent_path(index)).data
+        except FileNotFoundOLFSError:
+            data = b""
+        if len(data) < self.extent_size:
+            data = data + b"\x00" * (self.extent_size - len(data))
+        return data
+
+    # ------------------------------------------------------------------
+    # SCSI-ish verbs
+    # ------------------------------------------------------------------
+    def _check_range(self, offset: int, length: int) -> None:
+        if offset < 0 or length < 0:
+            raise ValueError("negative offset/length")
+        if offset % SECTOR or length % SECTOR:
+            raise ValueError("I/O must be 512-byte-sector aligned")
+        if offset + length > self.size:
+            raise ValueError(
+                f"I/O [{offset}, {offset + length}) beyond LUN size {self.size}"
+            )
+
+    def read(self, offset: int, length: int) -> bytes:
+        self._check_range(offset, length)
+        self.reads += 1
+        chunks = []
+        cursor = offset
+        end = offset + length
+        while cursor < end:
+            index, within = divmod(cursor, self.extent_size)
+            take = min(self.extent_size - within, end - cursor)
+            chunks.append(self._read_extent(index)[within : within + take])
+            cursor += take
+        return b"".join(chunks)
+
+    def write(self, offset: int, data: bytes) -> None:
+        self._check_range(offset, len(data))
+        self.writes += 1
+        cursor = offset
+        view = memoryview(data)
+        consumed = 0
+        while consumed < len(data):
+            index, within = divmod(cursor, self.extent_size)
+            take = min(self.extent_size - within, len(data) - consumed)
+            extent = bytearray(self._read_extent(index))
+            extent[within : within + take] = view[consumed : consumed + take]
+            self.ros.write(self._extent_path(index), bytes(extent))
+            cursor += take
+            consumed += take
+
+    def flush(self) -> None:
+        """SYNCHRONIZE CACHE: push extents toward optical."""
+        self.ros.flush()
+
+    def capacity_report(self) -> dict:
+        """READ CAPACITY-ish summary."""
+        return {
+            "lun": self.lun_name,
+            "size": self.size,
+            "sector": SECTOR,
+            "sectors": self.size // SECTOR,
+            "extent_size": self.extent_size,
+            "extents": self.extent_count,
+        }

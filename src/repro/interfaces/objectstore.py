@@ -1,0 +1,174 @@
+"""S3-style object storage over OLFS (§4.2 extension).
+
+Buckets and objects map onto the global namespace:
+
+    s3://<bucket>/<object/key>  ->  /objects/<bucket>/<object/key>
+
+Object user metadata rides in a JSON sidecar so it survives the §4.4
+bare-discs recovery path (the sidecar is a plain file inside the same
+disc images).  Listings support prefixes and delimiter grouping like the
+S3 ListObjects API.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import (
+    FileExistsOLFSError,
+    FileNotFoundOLFSError,
+)
+
+_META_SUFFIX = ".rosmeta"
+
+
+class NoSuchBucket(KeyError):
+    pass
+
+
+class NoSuchKey(KeyError):
+    pass
+
+
+@dataclass
+class ObjectInfo:
+    key: str
+    size: int
+    mtime: float
+    metadata: dict
+
+
+class ObjectStoreInterface:
+    """Buckets / objects / metadata on a ROS rack."""
+
+    def __init__(self, ros, root: str = "/objects"):
+        self.ros = ros
+        self.root = root.rstrip("/")
+
+    # ------------------------------------------------------------------
+    # Buckets
+    # ------------------------------------------------------------------
+    def create_bucket(self, bucket: str) -> None:
+        self._check_name(bucket)
+        try:
+            self.ros.mkdir(f"{self.root}/{bucket}")
+        except FileExistsOLFSError:
+            pass  # idempotent, like S3 with matching owner
+
+    def list_buckets(self) -> list[str]:
+        try:
+            return self.ros.readdir(self.root)
+        except FileNotFoundOLFSError:
+            return []
+
+    def _bucket_path(self, bucket: str) -> str:
+        self._check_name(bucket)
+        path = f"{self.root}/{bucket}"
+        try:
+            self.ros.readdir(path)
+        except FileNotFoundOLFSError:
+            raise NoSuchBucket(bucket) from None
+        return path
+
+    @staticmethod
+    def _check_name(name: str) -> None:
+        if not name or "/" in name:
+            raise ValueError(f"invalid bucket name {name!r}")
+
+    # ------------------------------------------------------------------
+    # Objects
+    # ------------------------------------------------------------------
+    def _object_path(self, bucket: str, key: str) -> str:
+        if not key or key.endswith("/"):
+            raise ValueError(f"invalid object key {key!r}")
+        return f"{self._bucket_path(bucket)}/{key}"
+
+    def put_object(
+        self,
+        bucket: str,
+        key: str,
+        data: bytes,
+        metadata: Optional[dict] = None,
+    ) -> None:
+        path = self._object_path(bucket, key)
+        self.ros.write(path, data)
+        if metadata:
+            sidecar = json.dumps(metadata, sort_keys=True).encode()
+            self.ros.write(path + _META_SUFFIX, sidecar)
+
+    def get_object(self, bucket: str, key: str) -> bytes:
+        try:
+            return self.ros.read(self._object_path(bucket, key)).data
+        except FileNotFoundOLFSError:
+            raise NoSuchKey(f"{bucket}/{key}") from None
+
+    def head_object(self, bucket: str, key: str) -> ObjectInfo:
+        path = self._object_path(bucket, key)
+        try:
+            info = self.ros.stat(path)
+        except FileNotFoundOLFSError:
+            raise NoSuchKey(f"{bucket}/{key}") from None
+        metadata = {}
+        try:
+            metadata = json.loads(self.ros.read(path + _META_SUFFIX).data)
+        except FileNotFoundOLFSError:
+            pass
+        return ObjectInfo(
+            key=key, size=info["size"], mtime=info["mtime"], metadata=metadata
+        )
+
+    def delete_object(self, bucket: str, key: str) -> None:
+        path = self._object_path(bucket, key)
+        try:
+            self.ros.unlink(path)
+        except FileNotFoundOLFSError:
+            raise NoSuchKey(f"{bucket}/{key}") from None
+        try:
+            self.ros.unlink(path + _META_SUFFIX)
+        except FileNotFoundOLFSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Listing (prefix + delimiter, S3 style)
+    # ------------------------------------------------------------------
+    def list_objects(
+        self,
+        bucket: str,
+        prefix: str = "",
+        delimiter: Optional[str] = None,
+    ) -> tuple[list[str], list[str]]:
+        """Returns ``(keys, common_prefixes)``."""
+        base = self._bucket_path(bucket)
+        keys: list[str] = []
+
+        def recurse(rel: str) -> None:
+            directory = f"{base}/{rel}".rstrip("/")
+            for name in self.ros.readdir(directory):
+                child_rel = f"{rel}{name}" if not rel else f"{rel}{name}"
+                full = f"{directory}/{name}"
+                try:
+                    info = self.ros.stat(full)
+                except FileNotFoundOLFSError:
+                    continue
+                if info.get("type") == "dir":
+                    recurse(child_rel + "/")
+                elif not name.endswith(_META_SUFFIX):
+                    keys.append(child_rel)
+
+        recurse("")
+        keys = sorted(k for k in keys if k.startswith(prefix))
+        if delimiter is None:
+            return keys, []
+        plain: list[str] = []
+        prefixes: list[str] = []
+        for key in keys:
+            remainder = key[len(prefix) :]
+            if delimiter in remainder:
+                group = prefix + remainder.split(delimiter, 1)[0] + delimiter
+                if group not in prefixes:
+                    prefixes.append(group)
+            else:
+                plain.append(key)
+        return plain, prefixes

@@ -1,0 +1,130 @@
+"""REST gateway over the object store (§4.2's third interface).
+
+A minimal HTTP-shaped facade: requests are dicts, responses carry status
+codes, bodies and headers — the way an embedded REST endpoint on the SC
+would behave.  Routes:
+
+    PUT    /v1/<bucket>/<key>       store an object (headers -> metadata)
+    GET    /v1/<bucket>/<key>       fetch an object
+    HEAD   /v1/<bucket>/<key>       metadata only
+    DELETE /v1/<bucket>/<key>       remove an object
+    GET    /v1/<bucket>?prefix=..   list keys
+    PUT    /v1/<bucket>             create bucket
+    GET    /v1                      list buckets
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.interfaces.objectstore import (
+    NoSuchBucket,
+    NoSuchKey,
+    ObjectStoreInterface,
+)
+
+_META_PREFIX = "x-ros-meta-"
+
+
+@dataclass
+class Response:
+    status: int
+    body: bytes = b""
+    headers: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+class RestGateway:
+    """Dispatches REST verbs onto a ROS-backed object store."""
+
+    def __init__(self, ros, root: str = "/objects"):
+        self.store = ObjectStoreInterface(ros, root)
+
+    # ------------------------------------------------------------------
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: bytes = b"",
+        headers: Optional[dict] = None,
+        query: Optional[dict] = None,
+    ) -> Response:
+        headers = headers or {}
+        query = query or {}
+        parts = [part for part in path.split("/") if part]
+        if not parts or parts[0] != "v1":
+            return Response(404, b"unknown API version")
+        parts = parts[1:]
+        try:
+            if not parts:
+                return self._collection(method)
+            if len(parts) == 1:
+                return self._bucket(method, parts[0], query)
+            bucket, key = parts[0], "/".join(parts[1:])
+            return self._object(method, bucket, key, body, headers)
+        except NoSuchBucket:
+            return Response(404, b"no such bucket")
+        except NoSuchKey:
+            return Response(404, b"no such key")
+        except ValueError as error:
+            return Response(400, str(error).encode())
+
+    # ------------------------------------------------------------------
+    def _collection(self, method: str) -> Response:
+        if method != "GET":
+            return Response(405)
+        names = "\n".join(self.store.list_buckets()).encode()
+        return Response(200, names)
+
+    def _bucket(self, method: str, bucket: str, query: dict) -> Response:
+        if method == "PUT":
+            self.store.create_bucket(bucket)
+            return Response(201)
+        if method == "GET":
+            keys, prefixes = self.store.list_objects(
+                bucket,
+                prefix=query.get("prefix", ""),
+                delimiter=query.get("delimiter"),
+            )
+            body = "\n".join(keys).encode()
+            return Response(
+                200, body, headers={"x-common-prefixes": ",".join(prefixes)}
+            )
+        return Response(405)
+
+    def _object(
+        self, method: str, bucket: str, key: str, body: bytes, headers: dict
+    ) -> Response:
+        if method == "PUT":
+            metadata = {
+                name[len(_META_PREFIX) :]: value
+                for name, value in headers.items()
+                if name.lower().startswith(_META_PREFIX)
+            }
+            self.store.put_object(bucket, key, body, metadata or None)
+            return Response(201)
+        if method == "GET":
+            data = self.store.get_object(bucket, key)
+            info = self.store.head_object(bucket, key)
+            return Response(200, data, headers=self._headers_of(info))
+        if method == "HEAD":
+            info = self.store.head_object(bucket, key)
+            return Response(200, headers=self._headers_of(info))
+        if method == "DELETE":
+            self.store.delete_object(bucket, key)
+            return Response(204)
+        return Response(405)
+
+    @staticmethod
+    def _headers_of(info) -> dict:
+        headers = {
+            "content-length": str(info.size),
+            "last-modified": f"{info.mtime:.3f}",
+        }
+        for name, value in info.metadata.items():
+            headers[f"{_META_PREFIX}{name}"] = str(value)
+        return headers

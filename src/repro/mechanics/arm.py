@@ -1,0 +1,125 @@
+"""The robotic arm: vertical motion, tray hooking, disc separation.
+
+The arm (§3.2) moves only vertically.  It locks a tray's outer hook so the
+roller's rotation fans the tray out, lifts the 12-disc stack above the drive
+set, then separates discs one by one — top drive first — into the opened
+drive trays.  Unloading reverses the process.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.errors import MechanicsError
+from repro.mechanics.geometry import DEFAULT_GEOMETRY, RollerGeometry
+from repro.mechanics.timing import DEFAULT_TIMINGS, MechanicalTimings
+from repro.media.disc import OpticalDisc
+from repro.sim.engine import Delay, Engine
+
+#: The arm parks at the uppermost layer (§5.2 measurement note).
+PARK_LAYER = 0
+
+
+class RoboticArm:
+    """One vertical-travel robotic arm serving one roller."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        arm_id: int = 0,
+        geometry: RollerGeometry = DEFAULT_GEOMETRY,
+        timings: MechanicalTimings = DEFAULT_TIMINGS,
+    ):
+        self.engine = engine
+        self.arm_id = arm_id
+        self.geometry = geometry
+        self.timings = timings
+        self.layer = PARK_LAYER
+        self.holding: list[OpticalDisc] = []
+        self.hooked = False
+        self.travel_seconds = 0.0
+        self.moves = 0
+
+    @property
+    def is_loaded(self) -> bool:
+        return bool(self.holding)
+
+    # ------------------------------------------------------------------
+    # Motion processes
+    # ------------------------------------------------------------------
+    def move_to_layer(self, layer: int) -> Generator:
+        """Travel vertically to ``layer``; slower when carrying a stack."""
+        if not (0 <= layer < self.geometry.layers):
+            raise MechanicsError(f"layer {layer} out of range")
+        if layer == self.layer:
+            return
+        distance = abs(
+            self.geometry.layer_fraction(layer)
+            - self.geometry.layer_fraction(self.layer)
+        )
+        seconds = self.timings.travel(distance, loaded=self.is_loaded)
+        yield Delay(seconds)
+        self.travel_seconds += seconds
+        self.moves += 1
+        self.layer = layer
+
+    def park(self) -> Generator:
+        yield from self.move_to_layer(PARK_LAYER)
+
+    def hook_tray(self) -> Generator:
+        """Lock the outer hook of the tray facing the arm."""
+        if self.hooked:
+            raise MechanicsError("arm already hooked to a tray")
+        yield Delay(self.timings.engage)
+        self.hooked = True
+
+    def release_tray(self) -> Generator:
+        if not self.hooked:
+            raise MechanicsError("arm is not hooked to a tray")
+        yield Delay(0.0)
+        self.hooked = False
+
+    def grab_stack(self, discs: list[OpticalDisc]) -> Generator:
+        """Lift a fetched disc stack up to the position atop the drives.
+
+        The prototype charges the lift-to-drives motion at a constant time
+        regardless of source layer (the layer-dependent cost shows up only
+        in the approach travel — Table 3 adds ~4.5 s for the lowest layer,
+        once).  The arm therefore ends this operation parked at the drive
+        position (layer 0).
+        """
+        if self.holding:
+            raise MechanicsError("arm is already holding discs")
+        yield Delay(self.timings.lift)
+        self.holding = list(discs)
+        self.layer = PARK_LAYER
+
+    def lower_stack(self) -> Generator:
+        """Lower the held stack into the open tray; returns the discs."""
+        if not self.holding:
+            raise MechanicsError("arm is not holding discs")
+        yield Delay(self.timings.lift)
+        discs, self.holding = self.holding, []
+        return discs
+
+    def separate_next(self) -> Generator:
+        """Separate the bottom disc of the held stack (for the next drive).
+
+        The ROS arm places discs from the bottom of the stack into drives
+        from the top down (§3.2).  Returns the separated disc.
+        """
+        if not self.holding:
+            raise MechanicsError("no discs left to separate")
+        yield Delay(self.timings.separate_one())
+        return self.holding.pop(0)
+
+    def collect_next(self, disc: OpticalDisc) -> Generator:
+        """Fetch one disc from an ejected drive tray onto the held stack."""
+        yield Delay(self.timings.collect_one())
+        self.holding.append(disc)
+
+    def __repr__(self) -> str:
+        return (
+            f"<RoboticArm {self.arm_id} layer={self.layer} "
+            f"holding={len(self.holding)} hooked={self.hooked}>"
+        )

@@ -1,0 +1,295 @@
+"""The mechanical subsystem: rollers + arms + PLC + drive sets, composed.
+
+This is the layer the OLFS Mechanical Controller talks to.  It exposes the
+two composite operations the paper measures (Table 3):
+
+* :meth:`MechanicalSubsystem.load_array` — bring a tray's 12 discs from the
+  roller into a drive set (rotate, travel, hook, fan out, grab/lift,
+  fan in, then separate discs one by one into opened drives).
+* :meth:`MechanicalSubsystem.unload_array` — collect the 12 discs from the
+  drives and return them to their tray.
+
+Arm access is serialized per roller through a simulation resource, with
+priorities so urgent fetches (cache-miss reads) can jump the queue ahead of
+background burn staging.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.drives.drive_set import DriveSet
+from repro.errors import MechanicsError
+from repro.mechanics.arm import PARK_LAYER, RoboticArm
+from repro.mechanics.geometry import DEFAULT_GEOMETRY, RollerGeometry, TrayAddress
+from repro.mechanics.roller import Roller
+from repro.mechanics.timing import DEFAULT_TIMINGS, MechanicalTimings
+from repro.media.disc import DiscType, BD25
+from repro.media.tray import Tray
+from repro.plc.channel import ControlChannel
+from repro.plc.controller import PLCController
+from repro.plc.instructions import (
+    FanIn,
+    FanOut,
+    GrabStack,
+    HookTray,
+    LowerStack,
+    MoveArm,
+    ReleaseTray,
+    Rotate,
+    SeparateDisc,
+)
+from repro.sim.engine import Acquire, Delay, Engine
+from repro.sim.resources import Resource
+
+
+class MechanicalSubsystem:
+    """Rollers, arms, PLC and drive sets of one ROS rack."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        roller_count: int = 2,
+        drive_sets_per_roller: int = 1,
+        geometry: RollerGeometry = DEFAULT_GEOMETRY,
+        timings: MechanicalTimings = DEFAULT_TIMINGS,
+        disc_type: DiscType = BD25,
+        populate: bool = True,
+        parallel_scheduling: bool = False,
+    ):
+        self.engine = engine
+        self.geometry = geometry
+        self.timings = timings
+        self.parallel_scheduling = parallel_scheduling
+        self.rollers = [
+            Roller(engine, index, geometry, timings)
+            for index in range(roller_count)
+        ]
+        self.arms = [
+            RoboticArm(engine, index, geometry, timings)
+            for index in range(roller_count)
+        ]
+        self.plc = PLCController(engine, self.rollers, self.arms)
+        self.channel = ControlChannel(engine, self.plc)
+        self.drive_sets: list[DriveSet] = []
+        self._set_roller: dict[int, int] = {}
+        for roller_index in range(roller_count):
+            for _ in range(drive_sets_per_roller):
+                set_id = len(self.drive_sets)
+                self.drive_sets.append(DriveSet(engine, set_id))
+                self._set_roller[set_id] = roller_index
+        self._arm_locks = [
+            Resource(engine, 1, name=f"arm{index}")
+            for index in range(roller_count)
+        ]
+        if populate:
+            for roller in self.rollers:
+                roller.populate_blank(disc_type)
+
+    # ------------------------------------------------------------------
+    # Topology helpers
+    # ------------------------------------------------------------------
+    def roller_of_set(self, set_id: int) -> int:
+        return self._set_roller[set_id]
+
+    def sets_of_roller(self, roller_index: int) -> list[DriveSet]:
+        return [
+            drive_set
+            for drive_set in self.drive_sets
+            if self._set_roller[drive_set.set_id] == roller_index
+        ]
+
+    def tray_at(self, roller_index: int, address: TrayAddress) -> Tray:
+        return self.rollers[roller_index].tray_at(address)
+
+    def locate_disc(
+        self, disc_id: str
+    ) -> Optional[tuple[int, TrayAddress]]:
+        """Find which roller tray currently stores ``disc_id``, if any."""
+        for roller in self.rollers:
+            address = roller.find_disc(disc_id)
+            if address is not None:
+                return roller.roller_id, address
+        return None
+
+    def total_discs(self) -> int:
+        in_rollers = sum(roller.disc_count() for roller in self.rollers)
+        in_drives = sum(
+            1
+            for drive_set in self.drive_sets
+            for drive in drive_set.drives
+            if drive.has_disc
+        )
+        return in_rollers + in_drives
+
+    # ------------------------------------------------------------------
+    # Composite operations (simulation processes)
+    # ------------------------------------------------------------------
+    def load_array(
+        self,
+        set_id: int,
+        address: TrayAddress,
+        priority: int = 0,
+    ) -> Generator:
+        """Move a tray's discs from the roller into drive set ``set_id``.
+
+        Returns the list of discs now sitting in the drives (top drive
+        first).  Table 3, "loading" rows.
+        """
+        roller_index = self.roller_of_set(set_id)
+        drive_set = self.drive_sets[set_id]
+        if not drive_set.is_empty:
+            raise MechanicsError(f"drive set {set_id} is not empty")
+        roller = self.rollers[roller_index]
+        tray = roller.tray_at(address)
+        if tray.checked_out or tray.is_empty:
+            raise MechanicsError(f"tray {address} has no discs to load")
+        grant = yield Acquire(self._arm_locks[roller_index], priority)
+        try:
+            if self.parallel_scheduling:
+                discs = yield from self._load_positioning_parallel(
+                    roller_index, address
+                )
+            else:
+                discs = yield from self._load_positioning_serial(
+                    roller_index, address
+                )
+            drive_set.open_all_trays()
+            placed = []
+            for index in range(len(discs)):
+                disc = yield from self.channel.send(
+                    SeparateDisc(roller_index, set_id, index)
+                )
+                drive = drive_set.drives[index]
+                drive.insert_disc(disc)
+                drive.close_tray()
+                placed.append(disc)
+            # Any drives beyond the disc count close empty.
+            for index in range(len(discs), len(drive_set.drives)):
+                drive_set.drives[index].close_tray()
+            drive_set.loaded_from = (roller_index, address)
+            return placed
+        finally:
+            grant.release()
+
+    def _load_positioning_serial(
+        self, roller_index: int, address: TrayAddress
+    ) -> Generator:
+        """Rotate/travel/hook/fan-out/grab/fan-in, fully sequential."""
+        send = self.channel.send
+        yield from send(Rotate(roller_index, address.slot))
+        yield from send(MoveArm(roller_index, address.layer))
+        yield from send(HookTray(roller_index))
+        yield from send(FanOut(roller_index, address.layer, address.slot))
+        discs = yield from send(GrabStack(roller_index, roller_index))
+        yield from send(ReleaseTray(roller_index))
+        yield from send(FanIn(roller_index))
+        return discs
+
+    def _load_positioning_parallel(
+        self, roller_index: int, address: TrayAddress
+    ) -> Generator:
+        """Overlapped positioning (§3.2 scheduling optimization).
+
+        Roller rotation overlaps arm travel and the tray fan-in overlaps
+        the first disc separations; modelled as the calibrated composite
+        minus the separation phase.
+        """
+        timings = self.timings
+        fraction = self.geometry.layer_fraction(address.layer)
+        positioning = timings.load_total(fraction, parallel=True)
+        positioning -= timings.separate_all
+        yield Delay(positioning)
+        roller = self.rollers[roller_index]
+        arm = self.arms[roller_index]
+        roller.facing_slot = address.slot
+        roller.aligned = False
+        discs = roller.tray_at(address).take_all()
+        arm.holding = list(discs)
+        arm.layer = PARK_LAYER
+        return discs
+
+    def unload_array(
+        self,
+        set_id: int,
+        address: Optional[TrayAddress] = None,
+        priority: int = 0,
+    ) -> Generator:
+        """Return the discs in drive set ``set_id`` to a roller tray.
+
+        ``address`` defaults to the tray the array was loaded from.
+        Table 3, "unloading" rows.
+        """
+        roller_index = self.roller_of_set(set_id)
+        drive_set = self.drive_sets[set_id]
+        if drive_set.is_busy:
+            raise MechanicsError(f"drive set {set_id} has busy drives")
+        if address is None:
+            if drive_set.loaded_from is None:
+                raise MechanicsError(
+                    f"drive set {set_id} has no home tray recorded"
+                )
+            roller_index, address = drive_set.loaded_from
+        roller = self.rollers[roller_index]
+        tray = roller.tray_at(address)
+        if not tray.checked_out and not tray.is_empty:
+            raise MechanicsError(f"tray {address} already holds discs")
+        grant = yield Acquire(self._arm_locks[roller_index], priority)
+        try:
+            send = self.channel.send
+            arm = self.arms[roller_index]
+            yield from send(MoveArm(roller_index, PARK_LAYER))
+            # Collect discs from drive trays, top down, one by one.
+            for drive in drive_set.drives:
+                if drive.disc is None:
+                    continue
+                drive.open_tray()
+                disc = drive.remove_disc()
+                drive.close_tray()
+                yield from self.plc.collect_into_arm(roller_index, disc)
+            if self.parallel_scheduling:
+                fraction = self.geometry.layer_fraction(address.layer)
+                positioning = (
+                    self.timings.unload_total(fraction, parallel=True)
+                    - self.timings.collect_all
+                )
+                yield Delay(positioning)
+                roller.facing_slot = address.slot
+                roller.aligned = False
+                discs = list(arm.holding)
+                arm.holding = []
+                if not tray.checked_out:
+                    tray.checked_out = True
+                tray.put_back(discs)
+                arm.layer = address.layer
+            else:
+                yield from send(Rotate(roller_index, address.slot))
+                yield from send(MoveArm(roller_index, address.layer))
+                yield from send(HookTray(roller_index))
+                yield from send(
+                    FanOut(roller_index, address.layer, address.slot)
+                )
+                if not tray.checked_out:
+                    # Returning to a different (empty) tray than the origin.
+                    tray.checked_out = True
+                yield from send(LowerStack(roller_index, roller_index))
+                yield from send(ReleaseTray(roller_index))
+                yield from send(FanIn(roller_index))
+            drive_set.loaded_from = None
+            return address
+        finally:
+            grant.release()
+
+    def swap_array(
+        self,
+        set_id: int,
+        new_address: TrayAddress,
+        priority: int = 0,
+    ) -> Generator:
+        """Unload the current array (if any) and load another (Table 1's
+        'drives are not working' case: ~155 s)."""
+        drive_set = self.drive_sets[set_id]
+        if not drive_set.is_empty:
+            yield from self.unload_array(set_id, priority=priority)
+        discs = yield from self.load_array(set_id, new_address, priority)
+        return discs

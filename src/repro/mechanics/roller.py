@@ -1,0 +1,144 @@
+"""The rotatable roller holding 510 trays of discs.
+
+The roller's only degree of freedom is rotation: it turns (in either
+direction, §3.2) to bring a tray slot in front of the robotic arm.  Tray
+fan-out/fan-in are cooperative motions between the roller and the arm hook;
+here they are modelled as timed roller operations with sensor feedback.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.errors import MechanicsError
+from repro.mechanics.geometry import DEFAULT_GEOMETRY, RollerGeometry, TrayAddress
+from repro.mechanics.timing import DEFAULT_TIMINGS, MechanicalTimings
+from repro.media.disc import DiscType, OpticalDisc, BD25
+from repro.media.tray import Tray
+from repro.sim.engine import Delay, Engine
+
+#: Power drawn while the roller motor turns (§3.2: "less than 50 watts").
+ROTATION_POWER_W = 50.0
+
+
+class Roller:
+    """One rotatable cylinder of trays plus its rotation state."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        roller_id: int = 0,
+        geometry: RollerGeometry = DEFAULT_GEOMETRY,
+        timings: MechanicalTimings = DEFAULT_TIMINGS,
+    ):
+        self.engine = engine
+        self.roller_id = roller_id
+        self.geometry = geometry
+        self.timings = timings
+        self.trays: dict[TrayAddress, Tray] = {
+            address: Tray(address.layer, address.slot, geometry.discs_per_tray)
+            for address in geometry.addresses()
+        }
+        #: which slot column currently faces the arm
+        self.facing_slot = 0
+        #: fan-in leaves the roller in a mechanical detent slightly off
+        #: angle, so every array operation begins with a short alignment
+        #: rotation (<2 s, §5.5) even when the slot has not changed.
+        self.aligned = False
+        self.rotation_count = 0
+        self.rotation_seconds = 0.0
+        self._fanned_out: Optional[TrayAddress] = None
+
+    # ------------------------------------------------------------------
+    # Inventory
+    # ------------------------------------------------------------------
+    def tray_at(self, address: TrayAddress) -> Tray:
+        self.geometry.validate(address)
+        return self.trays[address]
+
+    def populate_blank(self, disc_type: DiscType = BD25) -> int:
+        """Fill every tray with blank discs; returns the disc count."""
+        count = 0
+        for address, tray in self.trays.items():
+            if not tray.is_empty:
+                continue
+            discs = [
+                OpticalDisc(
+                    disc_id=(
+                        f"r{self.roller_id}-l{address.layer:02d}"
+                        f"-s{address.slot}-d{position:02d}"
+                    ),
+                    disc_type=disc_type,
+                )
+                for position in range(self.geometry.discs_per_tray)
+            ]
+            tray.fill(discs)
+            count += len(discs)
+        return count
+
+    def disc_count(self) -> int:
+        return sum(tray.disc_count for tray in self.trays.values())
+
+    def find_disc(self, disc_id: str) -> Optional[TrayAddress]:
+        for address, tray in self.trays.items():
+            for disc in tray.discs():
+                if disc.disc_id == disc_id:
+                    return address
+        return None
+
+    # ------------------------------------------------------------------
+    # Motion (simulation processes)
+    # ------------------------------------------------------------------
+    def rotate_to(self, slot: int) -> Generator:
+        """Rotate the roller so ``slot`` faces the arm (process)."""
+        if self._fanned_out is not None:
+            raise MechanicsError(
+                f"cannot rotate roller {self.roller_id}: tray "
+                f"{self._fanned_out} is fanned out"
+            )
+        if slot == self.facing_slot and self.aligned:
+            return
+        yield Delay(self.timings.rotate)
+        self.rotation_count += 1
+        self.rotation_seconds += self.timings.rotate
+        self.facing_slot = slot
+        self.aligned = True
+
+    def fan_out(self, address: TrayAddress) -> Generator:
+        """Fan the addressed tray out of the roller (process).
+
+        Requires the roller to already face the tray's slot; the arm must
+        have locked the tray's outer hook (the caller sequences this).
+        """
+        self.geometry.validate(address)
+        if address.slot != self.facing_slot or not self.aligned:
+            raise MechanicsError(
+                f"tray {address} is not aligned with the arm "
+                f"(facing slot {self.facing_slot}, aligned={self.aligned})"
+            )
+        if self._fanned_out is not None:
+            raise MechanicsError(f"tray {self._fanned_out} already fanned out")
+        yield Delay(self.timings.fan_out)
+        self._fanned_out = address
+
+    def fan_in(self) -> Generator:
+        """Close the currently fanned-out tray back into the roller."""
+        if self._fanned_out is None:
+            raise MechanicsError("no tray is fanned out")
+        yield Delay(self.timings.fan_in)
+        self._fanned_out = None
+        self.aligned = False
+
+    @property
+    def fanned_out(self) -> Optional[TrayAddress]:
+        return self._fanned_out
+
+    def rotation_energy_joules(self) -> float:
+        """Energy spent rotating so far (50 W while turning)."""
+        return ROTATION_POWER_W * self.rotation_seconds
+
+    def __repr__(self) -> str:
+        return (
+            f"<Roller {self.roller_id}: {self.disc_count()} discs, "
+            f"facing slot {self.facing_slot}>"
+        )

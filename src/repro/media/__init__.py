@@ -1,0 +1,14 @@
+"""Optical media: discs, trays (disc arrays) and the sector-error model."""
+
+from repro.media.disc import DiscStatus, DiscType, OpticalDisc, Track
+from repro.media.tray import Tray
+from repro.media.errors_model import SectorErrorModel
+
+__all__ = [
+    "DiscStatus",
+    "DiscType",
+    "OpticalDisc",
+    "SectorErrorModel",
+    "Track",
+    "Tray",
+]

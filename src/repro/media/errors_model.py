@@ -1,0 +1,72 @@
+"""Sector-error injection model.
+
+Archive-grade Blu-ray media exhibit a sector error rate of roughly 1e-16
+(§4.7).  At that rate errors essentially never appear in a simulation-scale
+run, so experiments that exercise the scrub/recover path inject errors at an
+elevated, configurable rate; the reliability *math* (1e-16 -> 1e-23 array
+rate) lives in :mod:`repro.reliability.model`.
+"""
+
+from __future__ import annotations
+
+from repro.media.disc import OpticalDisc
+from repro.sim.rng import DeterministicRNG
+
+#: Paper value for archive Blu-ray sector error rate (§4.7).
+PAPER_SECTOR_ERROR_RATE = 1e-16
+
+
+class SectorErrorModel:
+    """Injects unreadable sectors into burned discs, deterministically."""
+
+    def __init__(
+        self,
+        rng: DeterministicRNG,
+        sector_error_rate: float = PAPER_SECTOR_ERROR_RATE,
+    ):
+        if not 0.0 <= sector_error_rate <= 1.0:
+            raise ValueError(f"invalid error rate {sector_error_rate}")
+        self.rng = rng
+        self.sector_error_rate = sector_error_rate
+
+    def age_disc(self, disc: OpticalDisc) -> int:
+        """Visit every burned sector once and mark failures.
+
+        Returns the number of newly bad sectors.  Uses a binomial draw per
+        track rather than a per-sector coin flip so that full-size
+        (declared) discs stay cheap to age.
+        """
+        new_bad = 0
+        for track in disc.tracks:
+            expected = track.sector_count * self.sector_error_rate
+            # Draw the number of failures, then place them uniformly.
+            count = self._draw_failure_count(track.sector_count, expected)
+            for _ in range(count):
+                sector = track.start_sector + self.rng.integers(
+                    0, track.sector_count
+                )
+                if sector not in disc.bad_sectors:
+                    disc.bad_sectors.add(sector)
+                    new_bad += 1
+        return new_bad
+
+    def _draw_failure_count(self, sectors: int, expected: float) -> int:
+        if expected <= 0:
+            return 0
+        # Poisson approximation of the binomial; exact enough at these rates.
+        count = 0
+        threshold = self.rng.uniform()
+        # Inverse-CDF sampling of Poisson(expected).
+        import math
+
+        cumulative = math.exp(-expected)
+        probability = cumulative
+        while threshold > cumulative and count < sectors:
+            count += 1
+            probability *= expected / count
+            cumulative += probability
+        return count
+
+    def corrupt_exact(self, disc: OpticalDisc, sectors: list[int]) -> None:
+        """Deterministically mark specific sectors bad (failure injection)."""
+        disc.bad_sectors.update(sectors)

@@ -1,0 +1,355 @@
+"""Burning Task Management (BTM) and Disc Burning (DB) — §4.1, §4.7, §4.8.
+
+A burn task forms when a full array's worth of data images is ready (11 by
+default), generates the parity image(s) *delayed* (§4.7), claims a drive
+set and a blank tray, loads the blank discs, stages the image streams off
+the disk buffer and burns all discs concurrently in write-all-once mode.
+
+The §4.8 interrupt-burn policy is supported end to end: an urgent fetch can
+stop a burning array between segments; the burned prefixes are committed as
+POW tracks, the array is switched out, and once the interrupting read
+finishes the task re-loads the same tray and appends the remainders.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Generator, Optional
+
+from repro.errors import MechanicsError, ROSError
+from repro.mechanics.geometry import TrayAddress
+from repro.olfs.config import OLFSConfig
+from repro.olfs.images import DiscImageManager, ImageRecord
+from repro.olfs.mechanical import (
+    ArrayState,
+    MechanicalController,
+    PRIORITY_BURN,
+)
+from repro.sim.engine import Engine, Spawn, Wait
+from repro.storage.scheduler import IOStreamScheduler, StreamKind
+from repro.udf.image import DiscImage
+
+
+class BurnTask:
+    """One disc-array burn from parity generation to unload."""
+
+    _ids = itertools.count(1)
+
+    def __init__(
+        self,
+        controller: "BurnController",
+        data_records: list[ImageRecord],
+    ):
+        self.task_id = next(self._ids)
+        self.controller = controller
+        self.engine = controller.engine
+        self.data_records = data_records
+        self.parity_images: list[DiscImage] = []
+        self.done_event = self.engine.event(f"burn-{self.task_id}-done")
+        self.interrupt_requested = False
+        self.interruptions = 0
+        self.tray: Optional[tuple[int, TrayAddress]] = None
+        self.set_id: Optional[int] = None
+        self.state = "pending"
+        #: signalled by the fetch that interrupted us once it is done
+        self._resume_event = None
+
+    # ------------------------------------------------------------------
+    def request_interrupt(self) -> None:
+        """Ask the burning drives to stop at their next segment (§4.8)."""
+        if self.state != "burning":
+            return
+        self.interrupt_requested = True
+        self.interruptions += 1
+        drive_set = self.controller.mc.mech.drive_sets[self.set_id]
+        for drive in drive_set.drives:
+            from repro.drives.drive import DriveState
+
+            if drive.state is DriveState.BURNING:
+                drive.request_interrupt()
+
+    # ------------------------------------------------------------------
+    def run(self) -> Generator:
+        mc = self.controller.mc
+        dim = self.controller.dim
+        config = self.controller.config
+        try:
+            self.state = "parity"
+            data_images = [record.image for record in self.data_records]
+            if config.parity_discs_per_array > 0:
+                self.parity_images = yield from dim.generate_parity(
+                    data_images
+                )
+            all_images = data_images + self.parity_images
+            payloads = [
+                (image.serialize(), image.logical_size, image.image_id)
+                for image in all_images
+            ]
+            burned_prefix: dict[str, float] = {}
+            real_prefix: dict[str, int] = {}
+            attempts = 0
+            tray_failures = 0
+            while True:
+                attempts += 1
+                if attempts > 16:
+                    raise MechanicsError("burn task retried too many times")
+                try:
+                    finished = yield from self._burn_round(
+                        all_images, payloads, burned_prefix, real_prefix
+                    )
+                except ROSError:
+                    # The whole array is abandoned: mark its tray Failed
+                    # in the DAindex and restart on fresh blank discs.
+                    tray_failures += 1
+                    if self.tray is not None:
+                        mc.set_state(
+                            self.tray[0], self.tray[1], ArrayState.FAILED
+                        )
+                    self.tray = None
+                    burned_prefix.clear()
+                    real_prefix.clear()
+                    if tray_failures >= 3:
+                        raise
+                    continue
+                if finished:
+                    break
+                # Interrupted: wait for the urgent read to finish, then
+                # resume appending-burn on the same tray.
+                self._resume_event = self.engine.event(
+                    f"burn-{self.task_id}-resume"
+                )
+                self.controller.notify_interrupted(self)
+                yield Wait(self._resume_event)
+            self.state = "done"
+            self.controller.task_finished(self)
+            self.done_event.succeed(self)
+        except ROSError as error:
+            self.state = "failed"
+            if self.tray is not None:
+                mc.set_state(self.tray[0], self.tray[1], ArrayState.FAILED)
+            self.controller.task_failed(self, error)
+            self.done_event.fail(error)
+
+    def _burn_round(
+        self,
+        all_images: list[DiscImage],
+        payloads: list[tuple[bytes, int, str]],
+        burned_prefix: dict[str, float],
+        real_prefix: dict[str, int],
+    ) -> Generator:
+        """Load the tray (blank on the first round), burn what remains of
+        each image, unload.  Returns True when every image completed."""
+        mc = self.controller.mc
+        dim = self.controller.dim
+        mech = mc.mech
+        if self.tray is None:
+            roller_index = 0
+        else:
+            roller_index = self.tray[0]
+        if self.set_id is None:
+            self.set_id = mc.pick_set_for_burn(roller_index)
+        grant = yield from mc.acquire_set(self.set_id, PRIORITY_BURN)
+        mc.burn_task_of_set[self.set_id] = self
+        drive_set = mech.drive_sets[self.set_id]
+        try:
+            if not drive_set.is_empty:
+                yield from mech.unload_array(
+                    self.set_id, priority=PRIORITY_BURN
+                )
+            if self.tray is None:
+                self.tray = mc.find_blank_tray(mc.mech.roller_of_set(self.set_id))
+            roller_index, address = self.tray
+            yield from mech.load_array(
+                self.set_id, address, priority=PRIORITY_BURN
+            )
+            # Stage the image streams off the disk buffer concurrently
+            # with the burn (the §4.7 burn-read stream).
+            volume = self.controller.scheduler.volume_for(StreamKind.BURN_READ)
+
+            def stage(nbytes: float) -> Generator:
+                yield from volume.read(nbytes)
+
+            for _, size, image_id in payloads:
+                done = burned_prefix.get(image_id, 0.0)
+                if size - done > 0:
+                    yield Spawn(stage(size - done), name=f"stage-{image_id}")
+
+            self.state = "burning"
+            self.interrupt_requested = False
+            jobs: list = []
+            for (payload, size, image_id) in payloads:
+                done = burned_prefix.get(image_id, 0.0)
+                if done >= size:
+                    jobs.append(None)  # that disc is already finished
+                else:
+                    body = payload[real_prefix.get(image_id, 0) :]
+                    label = image_id if done == 0 else f"{image_id}.rest"
+                    jobs.append((body, int(size - done), label))
+            try:
+                results = yield from drive_set.burn_array(
+                    jobs,
+                    close=True,
+                    stagger_seconds=None,
+                    abort_check=lambda: self.interrupt_requested,
+                )
+            except ROSError:
+                # A drive/disc failed mid-burn.  Wait for the surviving
+                # drives to finish, clear the (now junk) array out of the
+                # drives, and let run() retry on a fresh tray.
+                from repro.sim.engine import Delay
+
+                while drive_set.is_busy:
+                    yield Delay(5.0)
+                yield from mech.unload_array(
+                    self.set_id, priority=PRIORITY_BURN
+                )
+                raise
+            self.state = "placing"
+            all_done = True
+            for result, job, (payload, size, image_id), image in zip(
+                results, jobs, payloads, all_images
+            ):
+                if job is None:
+                    continue  # disc already finished in an earlier round
+                if result is None:
+                    all_done = False  # aborted before this burn started
+                    continue
+                if result.completed:
+                    burned_prefix[image_id] = size
+                else:
+                    burned_prefix[image_id] = (
+                        burned_prefix.get(image_id, 0.0) + result.burned_bytes
+                    )
+                    if result.track is not None:
+                        real_prefix[image_id] = real_prefix.get(
+                            image_id, 0
+                        ) + len(result.track.payload)
+                    all_done = False
+            if all_done:
+                roller_index, address = self.tray
+                disc_ids = []
+                for drive, image in zip(drive_set.drives, all_images):
+                    if drive.disc is not None:
+                        disc_ids.append(drive.disc.disc_id)
+                        dim.mark_burned(
+                            image.image_id,
+                            drive.disc.disc_id,
+                            (roller_index, address),
+                        )
+                mc.set_state(roller_index, address, ArrayState.USED)
+                mc.array_images[(roller_index, address)] = [
+                    image.image_id for image in all_images
+                ]
+                # Burned content demotes from pinned buffer space to the
+                # read cache (data) or is dropped outright (parity).
+                for image in all_images:
+                    record = dim.records[image.image_id]
+                    if record.kind == "data" and self.controller.cache is not None:
+                        self.controller.cache.put(image.image_id, image)
+                    elif record.kind != "data":
+                        dim.evict_content(image.image_id)
+            # Return the discs to their tray either way: on interrupt the
+            # array must leave the drives for the urgent read (§4.8).
+            yield from mech.unload_array(self.set_id, priority=PRIORITY_BURN)
+            return all_done
+        finally:
+            if mc.burn_task_of_set.get(self.set_id) is self:
+                del mc.burn_task_of_set[self.set_id]
+            grant.release()
+
+    def resume(self) -> None:
+        """Called once the interrupting read has finished (§4.8)."""
+        if self._resume_event is not None and not self._resume_event.fired:
+            self._resume_event.succeed()
+
+
+class BurnController:
+    """BTM: forms burn tasks and tracks their completion."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        config: OLFSConfig,
+        dim: DiscImageManager,
+        mc: MechanicalController,
+        scheduler: IOStreamScheduler,
+    ):
+        self.engine = engine
+        self.config = config
+        self.dim = dim
+        self.mc = mc
+        self.scheduler = scheduler
+        #: wired by OLFS after construction: burned data images migrate
+        #: from pinned buffer space into the LRU read cache
+        self.cache = None
+        self.active_tasks: list[BurnTask] = []
+        self.completed_tasks: list[BurnTask] = []
+        self.failed_tasks: list[tuple[BurnTask, Exception]] = []
+        self.interrupted_tasks: list[BurnTask] = []
+        #: images already claimed by a scheduled task
+        self._claimed: set[str] = set()
+
+    # ------------------------------------------------------------------
+    def maybe_schedule(self) -> Optional[BurnTask]:
+        """Start a burn when a full array of data images is ready (§4.7)."""
+        if not self.config.auto_burn:
+            return None
+        ready = [
+            record
+            for record in self.dim.unburned_data_images()
+            if record.image_id not in self._claimed
+        ]
+        if len(ready) < self.config.data_discs_per_array:
+            return None
+        batch = ready[: self.config.data_discs_per_array]
+        return self.schedule(batch)
+
+    def schedule(self, records: list[ImageRecord]) -> BurnTask:
+        if not records:
+            raise ROSError("cannot schedule an empty burn")
+        task = BurnTask(self, records)
+        for record in records:
+            self._claimed.add(record.image_id)
+        self.active_tasks.append(task)
+        self.engine.spawn(task.run(), name=f"burn-task-{task.task_id}")
+        return task
+
+    def flush_pending(self) -> list[BurnTask]:
+        """Burn whatever unburned images exist, even a partial array."""
+        ready = [
+            record
+            for record in self.dim.unburned_data_images()
+            if record.image_id not in self._claimed
+        ]
+        tasks = []
+        while len(ready) >= self.config.data_discs_per_array:
+            tasks.append(self.schedule(ready[: self.config.data_discs_per_array]))
+            ready = ready[self.config.data_discs_per_array :]
+        if ready and self.config.allow_partial_arrays:
+            tasks.append(self.schedule(ready))
+        return tasks
+
+    # ------------------------------------------------------------------
+    # Task callbacks
+    # ------------------------------------------------------------------
+    def task_finished(self, task: BurnTask) -> None:
+        self.active_tasks.remove(task)
+        self.completed_tasks.append(task)
+
+    def task_failed(self, task: BurnTask, error: Exception) -> None:
+        if task in self.active_tasks:
+            self.active_tasks.remove(task)
+        self.failed_tasks.append((task, error))
+
+    def notify_interrupted(self, task: BurnTask) -> None:
+        self.interrupted_tasks.append(task)
+
+    def resume_interrupted(self) -> None:
+        """Resume every burn parked by an interrupting read."""
+        tasks, self.interrupted_tasks = self.interrupted_tasks, []
+        for task in tasks:
+            task.resume()
+
+    @property
+    def is_burning(self) -> bool:
+        return any(task.state == "burning" for task in self.active_tasks)

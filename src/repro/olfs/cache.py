@@ -1,0 +1,89 @@
+"""The Read Cache (RC): LRU over whole disc images (§4.1).
+
+"The current design of OLFS only considers a disc image as a cache unit,
+sufficiently exploiting spatial locality."  Recently fetched (or freshly
+burned) images stay on the disk buffer; beyond capacity the least recently
+used image's content is evicted (its bytes remain safe on disc).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.olfs.images import DiscImageManager
+from repro.udf.image import DiscImage
+
+
+class ReadCache:
+    """LRU cache of burned disc images kept on the disk buffer."""
+
+    def __init__(self, dim: DiscImageManager, capacity_images: int):
+        if capacity_images < 1:
+            raise ValueError("read cache needs capacity for >= 1 image")
+        self.dim = dim
+        self.capacity_images = capacity_images
+        self._lru: "OrderedDict[str, None]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __contains__(self, image_id: str) -> bool:
+        return image_id in self._lru
+
+    def get(self, image_id: str) -> Optional[DiscImage]:
+        """Cache lookup; refreshes recency on hit."""
+        if image_id in self._lru:
+            self._lru.move_to_end(image_id)
+            image = self.dim.get_buffered(image_id)
+            if image is not None:
+                self.hits += 1
+                return image
+            # Content vanished (e.g. manual evict); treat as miss.
+            del self._lru[image_id]
+        self.misses += 1
+        return None
+
+    def put(self, image_id: str, image: DiscImage) -> None:
+        """Admit a burned image's content, evicting LRU beyond capacity."""
+        self.dim.restore_content(image_id, image)
+        self._lru[image_id] = None
+        self._lru.move_to_end(image_id)
+        while len(self._lru) > self.capacity_images:
+            victim, _ = self._lru.popitem(last=False)
+            self.dim.evict_content(victim)
+
+    def evict(self, image_id: str) -> None:
+        if image_id in self._lru:
+            del self._lru[image_id]
+            self.dim.evict_content(image_id)
+
+    def reclaim(self, bytes_needed: int) -> int:
+        """Evict LRU images until ``bytes_needed`` are freed (or the
+        cache is empty).  Returns the bytes released — the buffer-pressure
+        valve the bucket manager pulls before refusing a write."""
+        from repro.olfs.images import BURNED
+
+        freed = 0
+        while freed < bytes_needed and self._lru:
+            victim, _ = self._lru.popitem(last=False)
+            record = self.dim.records.get(victim)
+            if record is None or record.state != BURNED:
+                continue  # lost/migrated entries simply leave the LRU
+            if record.image is not None:
+                freed += record.logical_size
+            self.dim.evict_content(victim)
+        return freed
+
+    @property
+    def cached_ids(self) -> list[str]:
+        return list(self._lru)
+
+    def stats(self) -> dict:
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / total if total else 0.0,
+            "cached": len(self._lru),
+            "capacity": self.capacity_images,
+        }

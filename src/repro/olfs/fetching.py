@@ -1,0 +1,240 @@
+"""Fetching Task Management (FTM): resolving reads to data, anywhere (§4.1).
+
+``fetch_file`` serves a read given the image ID and unique file path from
+the index file.  The resolution ladder mirrors Table 1:
+
+1. open bucket on the disk buffer                  (~1 ms)
+2. closed image on the disk buffer / read cache    (~2 ms)
+3. disc already in a drive                         (~0.2 s)
+4. disc array in the roller, free drives           (~70 s)
+5. disc array in the roller, occupied drives       (~155 s)
+6. all drives burning                              (minutes, or the
+   interrupt-burn policy)
+
+After a mechanical fetch the whole disc image is copied back to the disk
+buffer in the background (the read cache admits it), so re-reads hit case 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional, TYPE_CHECKING
+
+from repro.errors import FileNotFoundOLFSError, FilesystemError
+from repro.olfs.bucket import WritingBucketManager
+from repro.olfs.cache import ReadCache
+from repro.olfs.config import OLFSConfig
+from repro.olfs.images import BURNED, BUFFERED, IN_BUCKET, DiscImageManager
+from repro.olfs.mechanical import MechanicalController, PRIORITY_FETCH
+from repro.sim.engine import Delay, Engine, Spawn
+from repro.storage.scheduler import IOStreamScheduler, StreamKind
+from repro.udf.image import DiscImage
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.olfs.burning import BurnController
+
+
+@dataclass
+class FetchResult:
+    """Where a read was served from and the data itself."""
+
+    data: bytes
+    source: str  # bucket | buffer | drive | roller
+    mechanical: bool
+
+
+class FetchController:
+    """The FTM module."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        config: OLFSConfig,
+        dim: DiscImageManager,
+        wbm: WritingBucketManager,
+        cache: ReadCache,
+        mc: MechanicalController,
+        scheduler: IOStreamScheduler,
+        burn_controller: Optional["BurnController"] = None,
+    ):
+        self.engine = engine
+        self.config = config
+        self.dim = dim
+        self.wbm = wbm
+        self.cache = cache
+        self.mc = mc
+        self.scheduler = scheduler
+        self.burn_controller = burn_controller
+        self.fetch_tasks = 0
+        from repro.olfs.prefetch import FileGrainCache, SequentialPrefetcher
+
+        #: §4.1 future-work knobs (config-gated)
+        self.file_cache = (
+            FileGrainCache(config.file_cache_bytes)
+            if config.cache_granularity == "file"
+            else None
+        )
+        self.prefetcher = (
+            SequentialPrefetcher(config.prefetch_siblings)
+            if config.prefetch_siblings > 0
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    def fetch_file(
+        self,
+        image_id: str,
+        path: str,
+        priority: int = PRIORITY_FETCH,
+    ) -> Generator:
+        """Read ``path`` out of ``image_id`` wherever it lives.
+
+        Returns a :class:`FetchResult`.
+        """
+        record = self.dim.record(image_id)
+        if record.state == IN_BUCKET:
+            data = yield from self.wbm.read_file(image_id, path)
+            return FetchResult(data, "bucket", mechanical=False)
+        if self.file_cache is not None and record.state == BURNED:
+            cached_file = self.file_cache.get(image_id, path)
+            if cached_file is not None:
+                volume = self.scheduler.volume_for(StreamKind.USER_READ)
+                yield Delay(self.config.bucket_access_seconds)
+                yield from volume.read(len(cached_file))
+                return FetchResult(cached_file, "file-cache", mechanical=False)
+        image = None
+        if record.state == BURNED:
+            # Burned content lives under the read cache's LRU policy.
+            image = self.cache.get(image_id)
+        if image is None:
+            image = self.dim.get_buffered(image_id)
+        if image is not None:
+            result = yield from self._read_from_buffer(image, path)
+            return result
+        if record.state != BURNED:
+            raise FilesystemError(
+                f"image {image_id} unreadable in state {record.state}"
+            )
+        result = yield from self._read_from_disc(record, path, priority)
+        return result
+
+    def _read_from_buffer(self, image: DiscImage, path: str) -> Generator:
+        """Case 2: closed image on the disk buffer (~2 ms for small files)."""
+        volume = self.scheduler.volume_for(StreamKind.USER_READ)
+        entry = image.mount().file_entry(path)
+        yield Delay(self.config.image_access_seconds)
+        yield from volume.read(entry.size)
+        return FetchResult(entry.data, "buffer", mechanical=False)
+
+    def _read_from_disc(self, record, path: str, priority: int) -> Generator:
+        """Cases 3-6: the disc itself, maybe via mechanical operations."""
+        self.fetch_tasks += 1
+        was_in_drive = any(
+            drive_set.find_disc(record.disc_id) is not None
+            for drive_set in self.mc.mech.drive_sets
+        )
+        drive, set_id, grant = yield from self.mc.ensure_disc_in_drive(
+            record.disc_id, priority
+        )
+        try:
+            yield from drive.mount()
+            yield from drive.seek()
+            image = self._load_image_from_disc(drive.disc, record.image_id)
+            entry = image.mount().file_entry(path)
+            # Stream the file's bytes off the disc.
+            yield from drive.read_bytes(entry.size)
+        except BaseException:
+            grant.release()
+            raise
+        # Background: populate the configured cache tier; the set lock is
+        # released once the background copy finishes.
+        if self.file_cache is not None:
+            self.engine.spawn(
+                self._file_cache_fill(drive, grant, record, image, path, entry),
+                name=f"file-cache-fill-{record.image_id}",
+            )
+        else:
+            # Image-grain (paper default): copy the whole image back to
+            # the disk buffer and admit it to the read cache.
+            self.engine.spawn(
+                self._cache_fill(drive, grant, record, image),
+                name=f"cache-fill-{record.image_id}",
+            )
+        # The §4.8 interrupt policy: the read is served, resume burns.
+        if self.burn_controller is not None:
+            self.burn_controller.resume_interrupted()
+        source = "drive" if was_in_drive else "roller"
+        return FetchResult(entry.data, source, mechanical=not was_in_drive)
+
+    @staticmethod
+    def _load_image_from_disc(disc, image_id: str) -> DiscImage:
+        """Deserialize an image off a disc (untimed content work; the
+        timed part is the byte streaming the caller charges).
+
+        Interrupted-then-resumed burns leave the image split across POW
+        tracks (``<id>.partial`` + ``<id>.rest``); those are reassembled
+        in track order.
+        """
+        exact = disc.find_track(image_id)
+        if exact is not None:
+            index = disc.tracks.index(exact)
+            return DiscImage.deserialize(disc.read_track(index))
+        pieces = [
+            disc.read_track(index)
+            for index, track in enumerate(disc.tracks)
+            if track.label.startswith(image_id + ".")
+        ]
+        if not pieces:
+            raise FileNotFoundOLFSError(
+                f"image {image_id} not on disc {disc.disc_id}"
+            )
+        return DiscImage.deserialize(b"".join(pieces))
+
+    def _file_cache_fill(
+        self, drive, grant, record, image, path, entry
+    ) -> Generator:
+        """File-grain admission (§4.1 future work): keep only the
+        requested bytes (plus any sequential-prefetch siblings) on the
+        buffer, not the whole image."""
+        try:
+            volume = self.scheduler.volume_for(StreamKind.USER_WRITE)
+            yield from volume.write(entry.size)
+            self.file_cache.put(record.image_id, path, entry.data)
+            if self.prefetcher is not None:
+                fs = image.mount()
+                for sibling in self.prefetcher.candidates(image, path):
+                    sibling_entry = fs.file_entry(sibling)
+                    yield from drive.read_bytes(sibling_entry.size)
+                    yield from volume.write(sibling_entry.size)
+                    self.file_cache.put(
+                        record.image_id, sibling, sibling_entry.data
+                    )
+                    self.prefetcher.prefetched += 1
+        finally:
+            grant.release()
+
+    def _cache_fill(self, drive, grant, record, image) -> Generator:
+        """Copy the fetched image to the disk buffer, then free the set."""
+        try:
+            yield from drive.read_bytes(record.logical_size)
+            volume = self.scheduler.volume_for(StreamKind.USER_WRITE)
+            yield from volume.write(record.logical_size)
+            self.cache.put(record.image_id, image)
+        finally:
+            grant.release()
+
+    # ------------------------------------------------------------------
+    def reassemble_split_image(self, disc) -> Optional[DiscImage]:
+        """Rebuild an image whose burn was interrupted: concatenate the
+        ``<id>.partial``/``<id>.rest`` tracks in order."""
+        if not disc.tracks:
+            return None
+        base_label = disc.tracks[0].label
+        image_id = base_label.split(".partial")[0].split(".rest")[0]
+        blob = b"".join(
+            disc.read_track(index) for index in range(len(disc.tracks))
+        )
+        try:
+            return DiscImage.deserialize(blob)
+        except Exception:  # noqa: BLE001 — corrupt/partial burn
+            return None

@@ -1,0 +1,248 @@
+"""OLFS assembled: volumes, mechanics and the nine modules, plus a
+synchronous facade.
+
+``OLFS`` builds the whole rack (Figure 1): the SSD metadata volume, the
+HDD buffer volumes with the §4.7 stream scheduler, the mechanical
+subsystem, and every OLFS module, then exposes blocking convenience
+methods (``write``/``read``/``stat``/...) that advance the simulated clock.
+Background activity — parity generation, burning, cache fills — continues
+across calls on the same clock.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro import units
+from repro.mechanics.geometry import RollerGeometry, DEFAULT_GEOMETRY
+from repro.mechanics.library import MechanicalSubsystem
+from repro.olfs.bucket import WritingBucketManager
+from repro.olfs.burning import BurnController
+from repro.olfs.cache import ReadCache
+from repro.olfs.config import OLFSConfig
+from repro.olfs.fetching import FetchController
+from repro.olfs.forepart import ForepartManager
+from repro.olfs.images import DiscImageManager
+from repro.olfs.maintenance import MaintenanceInterface
+from repro.olfs.mechanical import MechanicalController
+from repro.olfs.metadata import MetadataVolume
+from repro.olfs.posix import OpTrace, POSIXInterface, ReadResult
+from repro.olfs.recovery import RecoveryManager
+from repro.sim.engine import Engine, Wait
+from repro.storage.scheduler import IOStreamScheduler
+from repro.storage.volume import Volume
+
+#: The prototype's measured RAID-5 buffer volume rates (§5.3).
+BUFFER_READ_RATE = 1.2 * units.GB
+BUFFER_WRITE_RATE = 1.0 * units.GB
+BUFFER_ACCESS_LATENCY = 0.0004
+
+#: SSD RAID-1 metadata volume (two 240 GB SSDs, §5.1).
+MV_READ_RATE = 900 * units.MB
+MV_WRITE_RATE = 450 * units.MB
+MV_ACCESS_LATENCY = 0.0001
+
+
+class OLFS:
+    """The Optical Library File System, fully assembled."""
+
+    def __init__(
+        self,
+        config: Optional[OLFSConfig] = None,
+        engine: Optional[Engine] = None,
+        roller_count: int = 2,
+        drive_sets_per_roller: int = 1,
+        buffer_volume_count: int = 2,
+        buffer_volume_capacity: int = 24 * units.TB,
+        io_policy: str = "partitioned",
+        geometry: RollerGeometry = DEFAULT_GEOMETRY,
+        parallel_scheduling: bool = False,
+    ):
+        self.engine = engine or Engine()
+        self.config = config or OLFSConfig()
+
+        # -- storage tier -------------------------------------------------
+        self.mv_volume = Volume(
+            self.engine,
+            "mv-ssd-raid1",
+            read_throughput=MV_READ_RATE,
+            write_throughput=MV_WRITE_RATE,
+            capacity=240 * units.GB,
+            access_latency=MV_ACCESS_LATENCY,
+        )
+        self.buffer_volumes = [
+            Volume(
+                self.engine,
+                f"buffer-raid5-{index}",
+                read_throughput=BUFFER_READ_RATE,
+                write_throughput=BUFFER_WRITE_RATE,
+                capacity=buffer_volume_capacity,
+                access_latency=BUFFER_ACCESS_LATENCY,
+            )
+            for index in range(buffer_volume_count)
+        ]
+        self.scheduler = IOStreamScheduler(self.buffer_volumes, policy=io_policy)
+
+        # -- mechanics ------------------------------------------------------
+        self.mech = MechanicalSubsystem(
+            self.engine,
+            roller_count=roller_count,
+            drive_sets_per_roller=drive_sets_per_roller,
+            geometry=geometry,
+            disc_type=self.config.disc_type,
+            parallel_scheduling=parallel_scheduling,
+        )
+        for drive_set in self.mech.drive_sets:
+            for drive in drive_set.drives:
+                drive.idle_sleep_seconds = (
+                    self.config.drive_idle_sleep_seconds
+                )
+
+        # -- OLFS modules ----------------------------------------------------
+        self.mv = MetadataVolume(
+            self.engine,
+            self.mv_volume,
+            lookup_seconds=self.config.mv_lookup_seconds,
+            update_seconds=self.config.mv_update_seconds,
+        )
+        self.dim = DiscImageManager(self.engine, self.config, self.scheduler)
+        self.mc = MechanicalController(self.engine, self.mech, self.config)
+        self.btm = BurnController(
+            self.engine, self.config, self.dim, self.mc, self.scheduler
+        )
+
+        def bucket_closed(image):
+            self.dim.bucket_closed(image)
+            self.btm.maybe_schedule()
+
+        from repro.storage.scheduler import StreamKind
+
+        self.wbm = WritingBucketManager(
+            self.engine,
+            self.config,
+            self.scheduler.volume_for(StreamKind.USER_WRITE),
+            on_bucket_closed=bucket_closed,
+            on_bucket_created=lambda image_id: self.dim.register_open_bucket(
+                image_id
+            ),
+        )
+        # The initial buckets were created before the callback could run.
+        for bucket in self.wbm.open_buckets():
+            if bucket.image_id not in self.dim.records:
+                self.dim.register_open_bucket(bucket.image_id)
+
+        self.cache = ReadCache(self.dim, self.config.read_cache_images)
+        self.btm.cache = self.cache
+        # Buffer-pressure valve: allocations on the buffer volumes may
+        # evict burned cached images instead of failing.
+        for buffer_volume in self.buffer_volumes:
+            buffer_volume.reclaimer = self.cache.reclaim
+        self.ftm = FetchController(
+            self.engine,
+            self.config,
+            self.dim,
+            self.wbm,
+            self.cache,
+            self.mc,
+            self.scheduler,
+            burn_controller=self.btm,
+        )
+        self.foreparts = ForepartManager(self.config)
+        self.pi = POSIXInterface(
+            self.engine,
+            self.config,
+            self.mv,
+            self.wbm,
+            self.ftm,
+            self.foreparts,
+        )
+        self.recovery = RecoveryManager(
+            self.engine, self.config, self.mv, self.dim, self.mc, self.btm
+        )
+        self.mi = MaintenanceInterface(
+            self.engine,
+            self.config,
+            self.mv,
+            self.dim,
+            self.mc,
+            self.wbm,
+            self.cache,
+        )
+
+    # ------------------------------------------------------------------
+    # Synchronous facade (advances the simulated clock)
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.engine.now
+
+    def run(self, generator: Generator, name: str = ""):
+        """Run any OLFS process to completion on the shared clock."""
+        return self.engine.run_process(generator, name)
+
+    def write(self, path: str, data: bytes, logical_size: Optional[int] = None) -> OpTrace:
+        """Write a file through the POSIX interface (§4.3 write path)."""
+        return self.run(self.pi.write_file(path, data, logical_size), "write")
+
+    def read(self, path: str, version: Optional[int] = None) -> ReadResult:
+        """Read a file; may trigger disc fetches (§4.1 read path)."""
+        return self.run(self.pi.read_file(path, version), "read")
+
+    def stat(self, path: str) -> dict:
+        return self.run(self.pi.stat(path), "stat")
+
+    def mkdir(self, path: str) -> None:
+        self.run(self.pi.mkdir(path), "mkdir")
+
+    def readdir(self, path: str) -> list[str]:
+        return self.run(self.pi.readdir(path), "readdir")
+
+    def unlink(self, path: str) -> None:
+        self.run(self.pi.unlink(path), "unlink")
+
+    def versions(self, path: str) -> list[int]:
+        return self.run(self.pi.versions(path), "versions")
+
+    # ------------------------------------------------------------------
+    # Burning / background control
+    # ------------------------------------------------------------------
+    def flush(self, wait: bool = True) -> int:
+        """Seal open buckets and burn everything pending (§4.7).
+
+        Returns the number of burn tasks started.  With ``wait`` the call
+        blocks (in simulated time) until all burns complete.
+        """
+        self.wbm.close_nonempty_buckets()
+        tasks = self.btm.flush_pending()
+        started = len(tasks)
+        # Also wait for burns that auto-scheduled before this flush.
+        tasks = list(self.btm.active_tasks) + [
+            task for task in tasks if task not in self.btm.active_tasks
+        ]
+        if wait and tasks:
+
+            def waiter() -> Generator:
+                for task in tasks:
+                    if not task.done_event.fired:
+                        yield Wait(task.done_event)
+
+            self.run(waiter(), "flush-wait")
+        return started
+
+    def drain_background(self) -> None:
+        """Run the engine until every background process settles."""
+        self.engine.run()
+
+    # ------------------------------------------------------------------
+    # Recovery / maintenance passthroughs
+    # ------------------------------------------------------------------
+    def checkpoint_mv(self):
+        """Burn an MV snapshot to discs (§4.2)."""
+        return self.run(self.recovery.burn_mv_snapshot(), "mv-checkpoint")
+
+    def recover_mv(self):
+        """Rebuild MV from the newest on-disc snapshot (§4.2)."""
+        return self.run(self.recovery.recover_mv_from_discs(), "mv-recover")
+
+    def status(self) -> dict:
+        return self.mi.status()

@@ -1,0 +1,252 @@
+"""Disc Image Management (DIM): registry, locations, delayed parity (§4.7).
+
+Tracks every disc image's life cycle::
+
+    open bucket -> buffered (closed, on the disk buffer, unburned)
+                -> burned   (on a disc; content may stay cached)
+
+and maintains the DILindex — image ID to physical location (§4.1).  Parity
+images are generated *delayed*: only once a full array of data images is
+ready, by streaming all data images off the buffer and writing the parity
+image back (the four-stream interference scenario of §4.7; reads/writes
+are charged to the volumes the I/O scheduler assigns).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+import numpy as np
+
+from repro.errors import FilesystemError
+from repro.olfs.config import OLFSConfig
+from repro.sim.engine import AllOf, Engine, Spawn
+from repro.storage.scheduler import IOStreamScheduler, StreamKind
+from repro.udf.image import DiscImage
+
+BUFFERED = "buffered"
+BURNED = "burned"
+IN_BUCKET = "in-bucket"
+
+
+@dataclass
+class ImageRecord:
+    """DILindex entry: where an image is and what state it is in."""
+
+    image_id: str
+    kind: str
+    state: str
+    logical_size: int = 0
+    #: in-memory content while buffered/cached; None once evicted
+    image: Optional[DiscImage] = None
+    #: disc holding the burned image, if any
+    disc_id: Optional[str] = None
+    #: tray position of that disc's array (roller index, layer, slot)
+    array_address: Optional[tuple] = None
+
+    @property
+    def on_buffer(self) -> bool:
+        return self.image is not None
+
+
+class DiscImageManager:
+    """The DIM module plus the DILindex."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        config: OLFSConfig,
+        scheduler: IOStreamScheduler,
+    ):
+        self.engine = engine
+        self.config = config
+        self.scheduler = scheduler
+        self.records: dict[str, ImageRecord] = {}
+        self._parity_counter = itertools.count(1)
+        self.parity_images_generated = 0
+
+    # ------------------------------------------------------------------
+    # Life-cycle transitions
+    # ------------------------------------------------------------------
+    def register_open_bucket(self, image_id: str) -> ImageRecord:
+        record = ImageRecord(image_id, kind="data", state=IN_BUCKET)
+        self.records[image_id] = record
+        return record
+
+    def bucket_closed(self, image: DiscImage) -> ImageRecord:
+        """A bucket became an image: pin it on the buffer until burned."""
+        record = self.records.get(image.image_id)
+        if record is None:
+            record = ImageRecord(image.image_id, kind=image.kind, state=BUFFERED)
+            self.records[image.image_id] = record
+        record.state = BUFFERED
+        record.image = image
+        record.logical_size = image.logical_size
+        volume = self.scheduler.volume_for(StreamKind.USER_WRITE)
+        volume.allocate(image.logical_size)
+        return record
+
+    def register_parity(self, image: DiscImage) -> ImageRecord:
+        record = ImageRecord(
+            image.image_id,
+            kind="parity",
+            state=BUFFERED,
+            image=image,
+            logical_size=image.logical_size,
+        )
+        self.records[image.image_id] = record
+        # Buffer-space accounting is kept on the USER_WRITE volume for
+        # every buffered image, wherever its stream was charged.
+        volume = self.scheduler.volume_for(StreamKind.USER_WRITE)
+        volume.allocate(image.logical_size)
+        return record
+
+    def mark_burned(
+        self,
+        image_id: str,
+        disc_id: str,
+        array_address: Optional[tuple] = None,
+    ) -> None:
+        record = self.records[image_id]
+        record.state = BURNED
+        record.disc_id = disc_id
+        record.array_address = array_address
+
+    def evict_content(self, image_id: str) -> None:
+        """Drop a burned image's bytes from the disk buffer."""
+        record = self.records[image_id]
+        if record.state != BURNED:
+            raise FilesystemError(
+                f"cannot evict unburned image {image_id} ({record.state})"
+            )
+        if record.image is not None:
+            volume = self.scheduler.volume_for(StreamKind.USER_WRITE)
+            volume.release(record.logical_size)
+            record.image = None
+
+    def restore_content(self, image_id: str, image: DiscImage) -> None:
+        """An image fetched back from disc re-enters the buffer (RC)."""
+        record = self.records[image_id]
+        if record.image is None:
+            volume = self.scheduler.volume_for(StreamKind.USER_WRITE)
+            volume.allocate(record.logical_size or image.logical_size)
+        record.image = image
+        if not record.logical_size:
+            record.logical_size = image.logical_size
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def record(self, image_id: str) -> ImageRecord:
+        if image_id not in self.records:
+            raise FilesystemError(f"unknown image {image_id}")
+        return self.records[image_id]
+
+    def get_buffered(self, image_id: str) -> Optional[DiscImage]:
+        record = self.records.get(image_id)
+        return record.image if record else None
+
+    def unburned_data_images(self) -> list[ImageRecord]:
+        return [
+            record
+            for record in self.records.values()
+            if record.kind == "data" and record.state == BUFFERED
+        ]
+
+    def burned_images(self) -> list[ImageRecord]:
+        return [r for r in self.records.values() if r.state == BURNED]
+
+    def location_of(self, image_id: str) -> str:
+        """DILindex lookup: 'bucket', 'buffer', or the disc id."""
+        record = self.record(image_id)
+        if record.state == IN_BUCKET:
+            return "bucket"
+        if record.state == BUFFERED:
+            return "buffer"
+        return record.disc_id
+
+    # ------------------------------------------------------------------
+    # Delayed parity generation (§4.7)
+    # ------------------------------------------------------------------
+    def generate_parity(self, data_images: list[DiscImage]) -> Generator:
+        """Create the parity image over a prepared array's data images.
+
+        Streams every data image off the buffer (parity-read), XORs the
+        serialized bytes, and writes the parity image back (parity-write);
+        both streams are charged to the volumes the scheduler assigned, so
+        this is exactly the interference workload §4.7 describes.
+        Supports 1 parity (RAID-5 style XOR).  For the 10+2 RAID-6 schema
+        a second, GF(256)-weighted parity is produced.
+        """
+        if not data_images:
+            raise FilesystemError("parity over an empty image set")
+        read_volume = self.scheduler.volume_for(StreamKind.PARITY_READ)
+        write_volume = self.scheduler.volume_for(StreamKind.PARITY_WRITE)
+
+        blobs = [image.serialize() for image in data_images]
+        width = max(len(blob) for blob in blobs)
+        logical = max(image.logical_size for image in data_images)
+
+        def read_one(blob_size: float) -> Generator:
+            yield from read_volume.read(blob_size)
+
+        readers = []
+        for image, blob in zip(data_images, blobs):
+            readers.append(
+                (
+                    yield Spawn(
+                        read_one(image.logical_size),
+                        name=f"parity-read-{image.image_id}",
+                    )
+                )
+            )
+        yield AllOf(readers)
+
+        parity = np.zeros(width, dtype=np.uint8)
+        arrays = []
+        for blob in blobs:
+            padded = np.zeros(width, dtype=np.uint8)
+            padded[: len(blob)] = np.frombuffer(blob, dtype=np.uint8)
+            parity ^= padded
+            arrays.append(padded)
+
+        images_out = []
+        parity_id = f"par-{next(self._parity_counter):08d}"
+        yield from write_volume.write(logical)
+        p_image = DiscImage(
+            parity_id, kind="parity", raw=parity.tobytes(), logical_size=logical
+        )
+        self.register_parity(p_image)
+        self.parity_images_generated += 1
+        images_out.append(p_image)
+
+        if self.config.parity_discs_per_array == 2:
+            from repro.storage.gf256 import generator_coefficient, gf_mul_bytes
+
+            q = np.zeros(width, dtype=np.uint8)
+            for position, padded in enumerate(arrays):
+                q ^= gf_mul_bytes(padded, generator_coefficient(position))
+            q_id = f"par-{next(self._parity_counter):08d}"
+            yield from write_volume.write(logical)
+            q_image = DiscImage(
+                q_id, kind="parity", raw=q.tobytes(), logical_size=logical
+            )
+            self.register_parity(q_image)
+            self.parity_images_generated += 1
+            images_out.append(q_image)
+        return images_out
+
+    @staticmethod
+    def recover_data_blob(
+        parity_raw: bytes, sibling_blobs: list[bytes], lost_length: int
+    ) -> bytes:
+        """Rebuild a lost data image's bytes from XOR parity + siblings."""
+        width = len(parity_raw)
+        result = np.frombuffer(parity_raw, dtype=np.uint8).copy()
+        for blob in sibling_blobs:
+            padded = np.zeros(width, dtype=np.uint8)
+            padded[: len(blob)] = np.frombuffer(blob, dtype=np.uint8)
+            result ^= padded
+        return result.tobytes()[:lost_length]

@@ -1,0 +1,278 @@
+"""The Maintenance Interface (MI): administration, scrubbing, repair (§4.1).
+
+"Disc sector-error checking can be scheduled at idle times and can
+periodically scan all the burned disc arrays to check sector errors.  When
+sector errors occur, data on the failed sectors can be recovered from their
+parity discs and the corresponding data discs in the same disc array...
+The recovered data can be written to new buckets and finally burned into
+free disc arrays." (§4.7)
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Generator, Optional
+
+from repro.errors import SectorError
+from repro.media.errors_model import SectorErrorModel
+from repro.mechanics.geometry import TrayAddress
+from repro.olfs.bucket import WritingBucketManager
+from repro.olfs.cache import ReadCache
+from repro.olfs.config import OLFSConfig
+from repro.olfs.images import DiscImageManager
+from repro.olfs.mechanical import ArrayState, MechanicalController, PRIORITY_FETCH
+from repro.olfs.metadata import MetadataVolume
+from repro.sim.engine import Engine
+from repro.udf.image import DiscImage
+
+
+class MaintenanceInterface:
+    """Administrator operations: status, scrub, repair."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        config: OLFSConfig,
+        mv: MetadataVolume,
+        dim: DiscImageManager,
+        mc: MechanicalController,
+        wbm: WritingBucketManager,
+        cache: ReadCache,
+    ):
+        self.engine = engine
+        self.config = config
+        self.mv = mv
+        self.dim = dim
+        self.mc = mc
+        self.wbm = wbm
+        self.cache = cache
+        self.scrubs = 0
+        self.sector_errors_found = 0
+        self.images_repaired = 0
+
+    # ------------------------------------------------------------------
+    def status(self) -> dict:
+        """System-wide status summary for the administrator console."""
+        mech = self.mc.mech
+        discs_total = sum(r.geometry.disc_capacity for r in mech.rollers)
+        states = {"buffered": 0, "burned": 0, "in-bucket": 0}
+        for record in self.dim.records.values():
+            states[record.state] = states.get(record.state, 0) + 1
+        return {
+            "sim_time": self.engine.now,
+            "arrays": self.mc.counts(),
+            "discs_total": discs_total,
+            "images": states,
+            "open_buckets": len(self.wbm.open_buckets()),
+            "buckets_closed": self.wbm.buckets_closed,
+            "cache": self.cache.stats(),
+            "mv_bytes": self.mv.used_bytes(),
+            "mv_index_files": len(self.mv.all_index_paths()),
+            "plc_instructions": mech.plc.instructions_executed,
+            "scrubs": self.scrubs,
+            "sector_errors_found": self.sector_errors_found,
+            "images_repaired": self.images_repaired,
+        }
+
+    # ------------------------------------------------------------------
+    def scrub_array(
+        self,
+        roller: int,
+        address: TrayAddress,
+        error_model: Optional[SectorErrorModel] = None,
+    ) -> Generator:
+        """Check one burned array's sectors; repair damaged images.
+
+        Loads the array, optionally ages the discs through the error
+        model, reads every track (timed), and for any disc with
+        unreadable payload sectors reconstructs the lost image from the
+        XOR parity disc plus the sibling data discs, then rewrites the
+        recovered files into fresh buckets and repoints the MV index
+        entries (§4.7).  Returns a report dict.
+        """
+        mech = self.mc.mech
+        self.scrubs += 1
+        if self.mc.state_of(roller, address) is not ArrayState.USED:
+            raise SectorError("-", -1)  # not a burned array
+        set_id = self.mc.pick_set_for_burn(roller)
+        grant = yield from self.mc.acquire_set(set_id, PRIORITY_FETCH)
+        report = {
+            "checked": 0,
+            "errors": 0,
+            "repaired": [],
+            "migrated": [],
+            "lost": [],
+        }
+        try:
+            drive_set = mech.drive_sets[set_id]
+            if not drive_set.is_empty:
+                yield from mech.unload_array(set_id, priority=PRIORITY_FETCH)
+            yield from mech.load_array(set_id, address, priority=PRIORITY_FETCH)
+            blobs: dict[str, bytes] = {}
+            failed: dict[str, int] = {}  # image_id -> lost blob length
+            parity_raw: Optional[bytes] = None
+            parity_failed = False
+            for drive in drive_set.drives:
+                disc = drive.disc
+                if disc is None or not disc.tracks:
+                    continue
+                if error_model is not None:
+                    self.sector_errors_found += error_model.age_disc(disc)
+                report["checked"] += 1
+                label = disc.tracks[0].label
+                yield from drive.mount()
+                yield from drive.seek()
+                yield from drive.read_bytes(disc.tracks[0].logical_size)
+                try:
+                    blob = disc.read_track(0)
+                except SectorError:
+                    report["errors"] += 1
+                    if label.startswith("par-"):
+                        parity_failed = True
+                    else:
+                        failed[label] = len(disc.tracks[0].payload)
+                    continue
+                if label.startswith("par-"):
+                    parity_raw = DiscImage.deserialize(blob).raw
+                else:
+                    blobs[label] = blob
+            failed_data = {
+                image_id: length
+                for image_id, length in failed.items()
+                if not image_id.split(".")[0].startswith("par-")
+            }
+            if len(failed_data) == 1 and parity_raw is not None:
+                # Single data loss + healthy parity: XOR reconstruction.
+                image_id, lost_length = next(iter(failed_data.items()))
+                recovered_blob = self.dim.recover_data_blob(
+                    parity_raw, list(blobs.values()), lost_length
+                )
+                restored = DiscImage.deserialize(recovered_blob)
+                yield from self._rewrite_image(image_id, restored)
+                report["repaired"].append(image_id)
+                self.images_repaired += 1
+            elif len(failed_data) > 1 or (failed_data and parity_raw is None):
+                # Beyond this array's redundancy: salvage the survivors,
+                # record the casualties.
+                report["lost"].extend(sorted(failed_data))
+                for image_id in failed_data:
+                    record = self.dim.records.get(image_id)
+                    if record is not None:
+                        record.state = "lost"
+                        record.image = None
+                for image_id, blob in blobs.items():
+                    restored = DiscImage.deserialize(blob)
+                    yield from self._rewrite_image(image_id, restored)
+                    report["migrated"].append(image_id)
+                self.mc.set_state(roller, address, ArrayState.FAILED)
+            if parity_failed and not failed_data:
+                # Degraded redundancy: the data is intact but unprotected.
+                # Proactively migrate every data image to fresh buckets so
+                # the next burn re-establishes full parity, and retire the
+                # old tray.
+                for image_id, blob in blobs.items():
+                    restored = DiscImage.deserialize(blob)
+                    yield from self._rewrite_image(image_id, restored)
+                    report["migrated"].append(image_id)
+                self.mc.set_state(roller, address, ArrayState.FAILED)
+            yield from mech.unload_array(set_id, priority=PRIORITY_FETCH)
+            return report
+        finally:
+            grant.release()
+
+    def _rewrite_image(
+        self, lost_image_id: str, restored: DiscImage
+    ) -> Generator:
+        """Write a recovered image's files into fresh buckets and repoint
+        every MV index entry that referenced the lost image."""
+        fs = restored.mount()
+        new_locations: dict[str, tuple[list[str], list[int]]] = {}
+        for path in fs.file_paths():
+            from repro.olfs.bucket import LINK_SUFFIX
+
+            if LINK_SUFFIX in path:
+                continue
+            entry = fs.file_entry(path)
+            image_ids, sizes = yield from self.wbm.write_file(
+                path,
+                entry.data,
+                logical_size=entry.logical_size,
+                mtime=self.engine.now,
+            )
+            new_locations[path] = (image_ids, sizes)
+        # Repoint MV entries that referenced the lost image; for split
+        # files only the lost subfile's slot is spliced out.
+        for path in self.mv.all_index_paths():
+            index = self.mv.peek_index(path)
+            changed = False
+            for version in index.entries:
+                if lost_image_id not in version.locations:
+                    continue
+                if path not in new_locations:
+                    continue
+                ids, sizes = new_locations[path]
+                slot = version.locations.index(lost_image_id)
+                version.locations = (
+                    version.locations[:slot]
+                    + ids
+                    + version.locations[slot + 1 :]
+                )
+                version.subfile_sizes = (
+                    version.subfile_sizes[:slot]
+                    + sizes
+                    + version.subfile_sizes[slot + 1 :]
+                )
+                changed = True
+            if changed:
+                yield from self.mv.write_index(path, index, self.engine.now)
+        # The lost image is superseded: its data lives on in the new
+        # buckets (which will burn to a fresh array); mark it dead.
+        record = self.dim.records.get(lost_image_id)
+        if record is not None:
+            record.state = "lost"
+            record.image = None
+
+    # ------------------------------------------------------------------
+    def wear_report(self) -> dict:
+        """Mechanical duty counters for maintenance forecasting.
+
+        Robotics are the shortest-lived components of a 50-year system
+        (§2.3: "hardware, software and mechanical components are not
+        likely to have the same lifetime as discs"); tracking cycles
+        tells the operator when to service arms and motors.
+        """
+        mech = self.mc.mech
+        return {
+            "roller_rotations": sum(
+                roller.rotation_count for roller in mech.rollers
+            ),
+            "roller_rotation_seconds": sum(
+                roller.rotation_seconds for roller in mech.rollers
+            ),
+            "arm_moves": sum(arm.moves for arm in mech.arms),
+            "arm_travel_seconds": sum(
+                arm.travel_seconds for arm in mech.arms
+            ),
+            "drive_busy_seconds": sum(
+                drive.busy_seconds
+                for drive_set in mech.drive_sets
+                for drive in drive_set.drives
+            ),
+            "plc_instructions": mech.plc.instructions_executed,
+            "plc_faults": mech.plc.faults,
+        }
+
+    def export_daindex(self) -> str:
+        """DAindex as JSON for the admin console."""
+        rows = [
+            {
+                "roller": roller,
+                "layer": address.layer,
+                "slot": address.slot,
+                "state": state.value,
+                "images": self.mc.array_images.get((roller, address), []),
+            }
+            for (roller, address), state in sorted(self.mc.da_index.items())
+            if state is not ArrayState.EMPTY
+        ]
+        return json.dumps(rows, indent=2)

@@ -1,0 +1,254 @@
+"""The Mechanical Controller (MC): drive-set arbitration and the DAindex.
+
+"MC not only communicates with PLC, but also schedules disc burning and
+fetching tasks to optimize the usage of mechanical resources" (§4.1).
+
+Responsibilities here:
+
+* **DAindex** (§4.1) — every tray/disc-array is Empty, Used or Failed;
+* **drive-set locks** — one burn or fetch owns a set at a time; urgent
+  fetches (priority 0) queue ahead of background burns (priority 10);
+* **the busy-drive read policy** (§4.8) — when every drive set is burning,
+  either wait for the burn or interrupt it (appending-burn mode);
+* the mapping from burned image IDs to tray addresses so fetches know
+  which array to load.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Generator, Optional, TYPE_CHECKING
+
+from repro.drives.drive import OpticalDrive
+from repro.drives.drive_set import DriveSet
+from repro.errors import MechanicsError
+from repro.mechanics.geometry import TrayAddress
+from repro.mechanics.library import MechanicalSubsystem
+from repro.olfs.config import OLFSConfig
+from repro.sim.engine import Acquire, Engine
+from repro.sim.resources import Grant, Resource
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.olfs.burning import BurnTask
+
+#: Queue priorities on drive-set locks.
+PRIORITY_FETCH = 0
+PRIORITY_BURN = 10
+
+
+class ArrayState(enum.Enum):
+    EMPTY = "Empty"
+    USED = "Used"
+    FAILED = "Failed"
+
+
+class MechanicalController:
+    """Owns drive-set access and the disc-array bookkeeping."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        mech: MechanicalSubsystem,
+        config: OLFSConfig,
+    ):
+        self.engine = engine
+        self.mech = mech
+        self.config = config
+        self.da_index: dict[tuple[int, TrayAddress], ArrayState] = {}
+        #: tray -> image ids burned there (in drive order)
+        self.array_images: dict[tuple[int, TrayAddress], list[str]] = {}
+        self._locks: dict[int, Resource] = {
+            drive_set.set_id: Resource(
+                engine, 1, name=f"drive-set-{drive_set.set_id}"
+            )
+            for drive_set in mech.drive_sets
+        }
+        #: burn task currently holding each set (for the interrupt policy)
+        self.burn_task_of_set: dict[int, "BurnTask"] = {}
+        self._blank_cursor: dict[int, int] = {
+            roller.roller_id: 0 for roller in mech.rollers
+        }
+        from repro.sim.rng import DeterministicRNG
+
+        self._rng = DeterministicRNG(0xA11C).child("tray-allocation")
+        for roller in mech.rollers:
+            for address in mech.geometry.addresses():
+                self.da_index[(roller.roller_id, address)] = ArrayState.EMPTY
+
+    # ------------------------------------------------------------------
+    # DAindex
+    # ------------------------------------------------------------------
+    def state_of(self, roller: int, address: TrayAddress) -> ArrayState:
+        return self.da_index[(roller, address)]
+
+    def set_state(
+        self, roller: int, address: TrayAddress, state: ArrayState
+    ) -> None:
+        self.da_index[(roller, address)] = state
+
+    def counts(self) -> dict[str, int]:
+        summary = {state.value: 0 for state in ArrayState}
+        for state in self.da_index.values():
+            summary[state.value] += 1
+        return summary
+
+    def find_blank_tray(
+        self, roller_index: Optional[int] = None
+    ) -> tuple[int, TrayAddress]:
+        """Next Empty tray full of blank discs.
+
+        The allocation policy (``config.tray_allocation``) decides which
+        blank tray: ``sequential`` fills top-down (fast while the top
+        layers last), ``nearest`` minimizes arm travel from its current
+        layer, ``random`` spreads wear uniformly.
+        """
+        rollers = (
+            [self.mech.rollers[roller_index]]
+            if roller_index is not None
+            else self.mech.rollers
+        )
+        policy = self.config.tray_allocation
+        for roller in rollers:
+            blanks = self._blank_trays_of(roller)
+            if not blanks:
+                continue
+            if policy == "nearest":
+                arm_layer = self.mech.arms[roller.roller_id].layer
+                blanks.sort(
+                    key=lambda address: (
+                        abs(address.layer - arm_layer),
+                        address.layer,
+                        address.slot,
+                    )
+                )
+                return roller.roller_id, blanks[0]
+            if policy == "random":
+                choice = self._rng.choice(blanks)
+                return roller.roller_id, choice
+            # sequential: resume from the cursor.
+            addresses = list(self.mech.geometry.addresses())
+            start = self._blank_cursor[roller.roller_id]
+            blank_set = set(blanks)
+            for offset in range(len(addresses)):
+                address = addresses[(start + offset) % len(addresses)]
+                if address in blank_set:
+                    self._blank_cursor[roller.roller_id] = (
+                        start + offset
+                    ) % len(addresses)
+                    return roller.roller_id, address
+        raise MechanicsError("no blank disc arrays left")
+
+    def _blank_trays_of(self, roller) -> list[TrayAddress]:
+        blanks = []
+        for address in self.mech.geometry.addresses():
+            if self.da_index[(roller.roller_id, address)] is not ArrayState.EMPTY:
+                continue
+            tray = roller.tray_at(address)
+            if tray.checked_out or not tray.is_full:
+                continue
+            if all(disc.is_blank for disc in tray.discs()):
+                blanks.append(address)
+        return blanks
+
+    def locate_image_array(
+        self, image_id: str
+    ) -> Optional[tuple[int, TrayAddress]]:
+        for key, images in self.array_images.items():
+            if image_id in images:
+                return key
+        return None
+
+    # ------------------------------------------------------------------
+    # Drive-set locks
+    # ------------------------------------------------------------------
+    def lock_of(self, set_id: int) -> Resource:
+        return self._locks[set_id]
+
+    def acquire_set(self, set_id: int, priority: int) -> Generator:
+        grant = yield Acquire(self._locks[set_id], priority)
+        return grant
+
+    def pick_set_for_burn(self, roller_index: int) -> int:
+        """Preferred set for a background burn: empty and unlocked first,
+        then unlocked, then least-contended."""
+        candidates = self.mech.sets_of_roller(roller_index)
+        for drive_set in candidates:
+            lock = self._locks[drive_set.set_id]
+            if drive_set.is_empty and lock.available and not lock.queue_length:
+                return drive_set.set_id
+        for drive_set in candidates:
+            lock = self._locks[drive_set.set_id]
+            if lock.available and not lock.queue_length:
+                return drive_set.set_id
+        return min(
+            candidates, key=lambda s: self._locks[s.set_id].queue_length
+        ).set_id
+
+    # ------------------------------------------------------------------
+    # Fetch path (§4.8 read policies)
+    # ------------------------------------------------------------------
+    def ensure_disc_in_drive(
+        self, disc_id: str, priority: int = PRIORITY_FETCH
+    ) -> Generator:
+        """Make ``disc_id`` readable in some drive; returns
+        ``(drive, set_id, grant)`` with the set lock held by the caller."""
+        # Already sitting in a drive set?
+        for drive_set in self.mech.drive_sets:
+            if drive_set.find_disc(disc_id) is not None:
+                grant = yield from self.acquire_set(drive_set.set_id, priority)
+                drive = drive_set.find_disc(disc_id)
+                if drive is not None:
+                    return drive, drive_set.set_id, grant
+                grant.release()  # moved away while we queued; fall through
+                break
+        located = self.mech.locate_disc(disc_id)
+        if located is None:
+            raise MechanicsError(f"disc {disc_id} is nowhere in the library")
+        roller_index, address = located
+        set_id = self._choose_fetch_set(roller_index)
+        grant = yield from self.acquire_set(set_id, priority)
+        try:
+            drive_set = self.mech.drive_sets[set_id]
+            # The disc may have arrived while we waited.
+            drive = drive_set.find_disc(disc_id)
+            if drive is not None:
+                return drive, set_id, grant
+            if not drive_set.is_empty:
+                yield from self.mech.unload_array(set_id, priority=priority)
+            yield from self.mech.load_array(set_id, address, priority=priority)
+            drive = drive_set.find_disc(disc_id)
+            if drive is None:
+                raise MechanicsError(
+                    f"disc {disc_id} missing after loading tray {address}"
+                )
+            return drive, set_id, grant
+        except BaseException:
+            grant.release()
+            raise
+
+    def _choose_fetch_set(self, roller_index: int) -> int:
+        """Pick the drive set a fetch should use, honouring the §4.8
+        busy-drive policy."""
+        candidates = self.mech.sets_of_roller(roller_index)
+        # 1. A free (unlocked) empty set.
+        for drive_set in candidates:
+            lock = self._locks[drive_set.set_id]
+            if drive_set.is_empty and lock.available and not lock.queue_length:
+                return drive_set.set_id
+        # 2. A free set with idle discs (costs an unload first).
+        for drive_set in candidates:
+            lock = self._locks[drive_set.set_id]
+            if lock.available and not lock.queue_length:
+                return drive_set.set_id
+        # 3. Every set is busy.  Interrupt policy: stop one burn now.
+        if self.config.busy_drive_policy == "interrupt":
+            for drive_set in candidates:
+                task = self.burn_task_of_set.get(drive_set.set_id)
+                if task is not None and task.state == "burning":
+                    task.request_interrupt()
+                    return drive_set.set_id
+        # Wait policy (or nothing interruptible): queue on the set with
+        # the shortest line; priority puts fetches ahead of new burns.
+        return min(
+            candidates, key=lambda s: self._locks[s.set_id].queue_length
+        ).set_id

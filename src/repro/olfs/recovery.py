@@ -1,0 +1,334 @@
+"""Recovery: MV checkpoints on disc and namespace reconstruction (§4.2, §4.4).
+
+Two independent safety nets:
+
+* **MV checkpoints** — the Metadata Volume is periodically serialized,
+  chunked into ``metadata`` disc images and burned.  If MV fails, the
+  latest snapshot is recovered by scanning the discs (the paper measured
+  ~half an hour over 120 discs).
+* **Full namespace reconstruction** — because every image carries its
+  files' ancestor directories (unique file path, §4.4) and split files
+  carry link files (§4.5), the entire global namespace can be rebuilt by
+  scanning all survived data discs even with MV *and* every checkpoint
+  lost.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from typing import Generator, Optional
+
+from repro.errors import FilesystemError
+from repro.mechanics.geometry import TrayAddress
+from repro.olfs.bucket import LINK_SUFFIX, WritingBucketManager
+from repro.olfs.burning import BurnController, BurnTask
+from repro.olfs.config import OLFSConfig
+from repro.olfs.images import DiscImageManager
+from repro.olfs.index import IndexFile, VersionEntry
+from repro.olfs.mechanical import ArrayState, MechanicalController, PRIORITY_FETCH
+from repro.olfs.metadata import MetadataVolume
+from repro.sim.engine import Engine, Join
+from repro.udf.entry import FileEntry
+from repro.udf.filesystem import UDFFileSystem
+from repro.udf.image import DiscImage
+
+#: Reserve for the chunk file's UDF entries + manifest inside each image
+#: (a handful of 2 KB blocks).
+_CHUNK_OVERHEAD = 16 * 1024
+
+
+class RecoveryManager:
+    """MV checkpoint burning and disc-scan recovery."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        config: OLFSConfig,
+        mv: MetadataVolume,
+        dim: DiscImageManager,
+        mc: MechanicalController,
+        btm: BurnController,
+    ):
+        self.engine = engine
+        self.config = config
+        self.mv = mv
+        self.dim = dim
+        self.mc = mc
+        self.btm = btm
+        self._snapshot_counter = itertools.count(1)
+        self._metadata_counter = itertools.count(1)
+        #: id of the last successfully burned checkpoint (delta base)
+        self._last_checkpoint_id: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Checkpoint burning
+    # ------------------------------------------------------------------
+    def burn_mv_snapshot(self, incremental: bool = False) -> Generator:
+        """Serialize MV, chunk it into metadata images, burn the arrays.
+
+        ``incremental=True`` burns only the entries changed since the last
+        checkpoint (a *delta* chained to its base) — far fewer discs for a
+        mostly-static namespace.  Returns the completed
+        :class:`BurnTask` objects.
+        """
+        snapshot_id = next(self._snapshot_counter)
+        if incremental:
+            if self._last_checkpoint_id is None:
+                raise FilesystemError(
+                    "no base checkpoint: burn a full snapshot first"
+                )
+            blob = self.mv.collect_delta()
+            kind, base = "delta", self._last_checkpoint_id
+        else:
+            blob = self.mv.serialize_snapshot()
+            kind, base = "full", None
+        chunk_size = self.config.bucket_capacity - _CHUNK_OVERHEAD
+        if chunk_size <= 0:
+            raise FilesystemError("bucket capacity too small for snapshots")
+        chunks = [
+            blob[offset : offset + chunk_size]
+            for offset in range(0, len(blob), chunk_size)
+        ] or [b""]
+        records = []
+        for seq, chunk in enumerate(chunks):
+            image_id = f"mv-{next(self._metadata_counter):08d}"
+            fs = UDFFileSystem(self.config.bucket_capacity, label=image_id)
+            fs.write_file(
+                "/mv/manifest.json",
+                json.dumps(
+                    {
+                        "snapshot": snapshot_id,
+                        "seq": seq,
+                        "total": len(chunks),
+                        "kind": kind,
+                        "base": base,
+                    }
+                ).encode(),
+                mtime=self.engine.now,
+            )
+            fs.write_file(f"/mv/chunk-{seq:06d}", chunk, mtime=self.engine.now)
+            fs.close()
+            image = DiscImage(image_id, kind="metadata", filesystem=fs)
+            records.append(self.dim.bucket_closed(image))
+        tasks: list[BurnTask] = []
+        for start in range(0, len(records), self.config.data_discs_per_array):
+            batch = records[start : start + self.config.data_discs_per_array]
+            tasks.append(self.btm.schedule(batch))
+        from repro.sim.engine import Wait
+
+        for task in tasks:
+            yield Wait(task.done_event)
+        self._last_checkpoint_id = snapshot_id
+        self.mv.clear_change_tracking()
+        return tasks
+
+    # ------------------------------------------------------------------
+    # MV recovery from discs (the ~30-minute experiment)
+    # ------------------------------------------------------------------
+    def recover_mv_from_discs(self) -> Generator:
+        """Scan used arrays for MV checkpoints and rebuild the newest view.
+
+        Loads the newest *complete full* snapshot, then replays every
+        complete delta chained after it in order.  Returns
+        ``(last_applied_snapshot_id, discs_read)``.  Timed: every
+        candidate array is mechanically loaded and its metadata chunks
+        streamed off the discs.
+        """
+        chunks: dict[int, dict[int, bytes]] = {}
+        meta: dict[int, dict] = {}
+        discs_read = 0
+        for (roller, address), state in sorted(self.mc.da_index.items()):
+            if state is not ArrayState.USED:
+                continue
+            images = self.mc.array_images.get((roller, address), [])
+            if not any(image_id.startswith("mv-") for image_id in images):
+                continue
+            discs_read += yield from self._scan_array_for_chunks(
+                roller, address, chunks, meta
+            )
+
+        def complete(snapshot_id: int) -> bool:
+            have = chunks.get(snapshot_id, {})
+            return len(have) == meta[snapshot_id]["total"]
+
+        def blob_of(snapshot_id: int) -> bytes:
+            have = chunks[snapshot_id]
+            return b"".join(have[seq] for seq in sorted(have))
+
+        fulls = [
+            snapshot_id
+            for snapshot_id, info in meta.items()
+            if info["kind"] == "full" and complete(snapshot_id)
+        ]
+        if not fulls:
+            raise FilesystemError("no complete MV snapshot found on discs")
+        base = max(fulls)
+        self.mv.load_snapshot(blob_of(base))
+        applied = base
+        for snapshot_id in sorted(meta):
+            if snapshot_id <= base:
+                continue
+            info = meta[snapshot_id]
+            if (
+                info["kind"] == "delta"
+                and info.get("base") == applied
+                and complete(snapshot_id)
+            ):
+                self.mv.apply_delta(blob_of(snapshot_id))
+                applied = snapshot_id
+        self.mv.clear_change_tracking()
+        self._last_checkpoint_id = applied
+        return applied, discs_read
+
+    def _scan_array_for_chunks(
+        self,
+        roller: int,
+        address: TrayAddress,
+        chunks: dict,
+        meta: dict,
+    ) -> Generator:
+        mech = self.mc.mech
+        set_id = self.mc.pick_set_for_burn(roller)
+        grant = yield from self.mc.acquire_set(set_id, PRIORITY_FETCH)
+        try:
+            drive_set = mech.drive_sets[set_id]
+            if not drive_set.is_empty:
+                yield from mech.unload_array(set_id, priority=PRIORITY_FETCH)
+            yield from mech.load_array(set_id, address, priority=PRIORITY_FETCH)
+            read = 0
+            for drive in drive_set.drives:
+                if drive.disc is None or not drive.disc.tracks:
+                    continue
+                track = drive.disc.tracks[0]
+                header = DiscImage.peek_header(drive.disc.read_track(0))
+                if header.get("kind") != "metadata":
+                    continue
+                yield from drive.mount()
+                yield from drive.seek()
+                yield from drive.read_bytes(track.logical_size)
+                image = DiscImage.deserialize(drive.disc.read_track(0))
+                fs = image.mount()
+                manifest = json.loads(fs.read_file("/mv/manifest.json"))
+                snapshot_id = manifest["snapshot"]
+                meta[snapshot_id] = {
+                    "total": manifest["total"],
+                    "kind": manifest.get("kind", "full"),
+                    "base": manifest.get("base"),
+                }
+                seq = manifest["seq"]
+                chunks.setdefault(snapshot_id, {})[seq] = fs.read_file(
+                    f"/mv/chunk-{seq:06d}"
+                )
+                read += 1
+            yield from mech.unload_array(set_id, priority=PRIORITY_FETCH)
+            return read
+        finally:
+            grant.release()
+
+    # ------------------------------------------------------------------
+    # Full namespace reconstruction from data images (§4.4)
+    # ------------------------------------------------------------------
+    def reconstruct_namespace(
+        self, images: Optional[list[DiscImage]] = None
+    ) -> Generator:
+        """Rebuild the MV from data-image contents (a process).
+
+        ``images`` defaults to every data image whose content is still on
+        the buffer.  Returns the number of files restored.  Timed disc
+        scanning is the caller's job (combine with
+        :meth:`collect_images_from_discs` for the full disaster path).
+        """
+        if images is None:
+            images = [
+                record.image
+                for record in self.dim.records.values()
+                if record.kind == "data" and record.image is not None
+            ]
+        images = sorted(images, key=lambda image: image.image_id)
+        # (path, image_id) -> (entry, link-info or None)
+        sightings: dict[str, list[tuple[str, FileEntry, Optional[dict]]]] = {}
+        links: dict[tuple[str, str], dict] = {}
+        for image in images:
+            fs = image.mount()
+            for path in fs.file_paths():
+                if LINK_SUFFIX in path:
+                    link = json.loads(fs.read_file(path))
+                    links[(link["path"], image.image_id)] = link
+                    continue
+                entry = fs.file_entry(path)
+                sightings.setdefault(path, []).append(
+                    (image.image_id, entry, None)
+                )
+        restored = 0
+        for path, appearances in sightings.items():
+            index = IndexFile(path, self.config.max_versions)
+            # Chain split parts: an appearance with a link file continues
+            # an earlier image; heads have no link.
+            heads = []
+            continuation: dict[str, str] = {}
+            for image_id, entry, _ in appearances:
+                link = links.get((path, image_id))
+                if link is None:
+                    heads.append((image_id, entry))
+                else:
+                    continuation[link["continues"]] = image_id
+            by_image = {image_id: entry for image_id, entry, _ in appearances}
+            for image_id, entry in sorted(heads):
+                location_chain = [image_id]
+                sizes = [entry.size]
+                cursor = image_id
+                while cursor in continuation:
+                    cursor = continuation[cursor]
+                    location_chain.append(cursor)
+                    sizes.append(by_image[cursor].size)
+                index.add_version(
+                    VersionEntry(
+                        version=index.next_version,
+                        size=sum(sizes),
+                        mtime=entry.mtime,
+                        locations=location_chain,
+                        subfile_sizes=sizes,
+                    )
+                )
+            if index.entries:
+                yield from self.mv.write_index(path, index, self.engine.now)
+                restored += 1
+        return restored
+
+    def collect_images_from_discs(self) -> Generator:
+        """Mechanically scan every used array and return all data images
+        read off the discs (timed).  Feed the result to
+        :meth:`reconstruct_namespace` for the full §4.4 disaster path.
+        """
+        collected: list[DiscImage] = []
+        mech = self.mc.mech
+        for (roller, address), state in sorted(self.mc.da_index.items()):
+            if state is not ArrayState.USED:
+                continue
+            set_id = self.mc.pick_set_for_burn(roller)
+            grant = yield from self.mc.acquire_set(set_id, PRIORITY_FETCH)
+            try:
+                drive_set = mech.drive_sets[set_id]
+                if not drive_set.is_empty:
+                    yield from mech.unload_array(
+                        set_id, priority=PRIORITY_FETCH
+                    )
+                yield from mech.load_array(
+                    set_id, address, priority=PRIORITY_FETCH
+                )
+                for drive in drive_set.drives:
+                    disc = drive.disc
+                    if disc is None or not disc.tracks:
+                        continue
+                    header = DiscImage.peek_header(disc.read_track(0))
+                    if header.get("kind") != "data":
+                        continue
+                    yield from drive.mount()
+                    yield from drive.seek()
+                    yield from drive.read_bytes(disc.tracks[0].logical_size)
+                    collected.append(DiscImage.deserialize(disc.read_track(0)))
+                yield from mech.unload_array(set_id, priority=PRIORITY_FETCH)
+            finally:
+                grant.release()
+        return collected

@@ -1,0 +1,44 @@
+"""The SC <-> PLC control link.
+
+The system controller talks to the PLC over an internal TCP/IP network
+(§3.1).  Command latency is sub-millisecond and negligible next to motion
+times, but it is modelled (and counted) so the control-path cost is visible
+in traces and can be inflated for sensitivity tests.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, TYPE_CHECKING
+
+from repro.plc.instructions import Instruction
+from repro.sim.engine import Delay, Engine
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.plc.controller import PLCController
+
+#: One command round-trip on the internal network.
+DEFAULT_COMMAND_LATENCY = 0.001
+
+
+class ControlChannel:
+    """Carries instructions from the SC to the PLC and returns results."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        plc: "PLCController",
+        command_latency: float = DEFAULT_COMMAND_LATENCY,
+    ):
+        self.engine = engine
+        self.plc = plc
+        self.command_latency = command_latency
+        self.commands_sent = 0
+        self.log: list[tuple[float, str]] = []
+
+    def send(self, instruction: Instruction) -> Generator:
+        """Transmit and execute one instruction; returns its result."""
+        yield Delay(self.command_latency)
+        self.commands_sent += 1
+        self.log.append((self.engine.now, instruction.mnemonic))
+        result = yield from self.plc.execute(instruction)
+        return result

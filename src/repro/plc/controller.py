@@ -1,0 +1,147 @@
+"""PLC controller: interprets instructions with sensor feedback.
+
+Every motion ends with a feedback check against the sensor suite (§3.3:
+"all mechanical operations can be executed correctly by precise feedback
+control"); a mismatch raises :class:`~repro.errors.PLCFaultError`, which is
+how miscalibration faults surface in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.errors import PLCFaultError
+from repro.mechanics.arm import RoboticArm
+from repro.mechanics.roller import Roller
+from repro.mechanics.sensors import SensorSuite
+from repro.mechanics.geometry import TrayAddress
+from repro.plc.instructions import (
+    Calibrate,
+    CollectDisc,
+    FanIn,
+    FanOut,
+    GrabStack,
+    HookTray,
+    Instruction,
+    LowerStack,
+    MoveArm,
+    ReleaseTray,
+    Rotate,
+    SeparateDisc,
+)
+from repro.sim.engine import Delay, Engine
+
+
+class PLCController:
+    """Executes PLC instructions over rollers/arms with feedback checks."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        rollers: list[Roller],
+        arms: list[RoboticArm],
+    ):
+        if len(rollers) != len(arms):
+            raise ValueError("one arm per roller is required")
+        self.engine = engine
+        self.rollers = rollers
+        self.arms = arms
+        self.suites = [
+            self._build_suite(roller, arm)
+            for roller, arm in zip(rollers, arms)
+        ]
+        self.instructions_executed = 0
+        self.faults = 0
+        #: a disc picked up by SeparateDisc awaiting drive insertion
+        self._separated = {index: None for index in range(len(arms))}
+
+    @staticmethod
+    def _build_suite(roller: Roller, arm: RoboticArm) -> SensorSuite:
+        return SensorSuite(
+            roller_position=lambda: float(roller.facing_slot),
+            arm_layer=lambda: float(arm.layer),
+            # Gap between separated discs; the probe reports nominal unless
+            # drifted by fault injection.
+            separation_gap_mm=lambda: 0.0,
+        )
+
+    def execute(self, instruction: Instruction) -> Generator:
+        """Run one instruction to completion; returns its result, if any."""
+        self.instructions_executed += 1
+        try:
+            result = yield from self._dispatch(instruction)
+        except PLCFaultError:
+            self.faults += 1
+            raise
+        return result
+
+    def _dispatch(self, instruction: Instruction) -> Generator:
+        if isinstance(instruction, Rotate):
+            roller = self.rollers[instruction.roller]
+            yield from roller.rotate_to(instruction.slot)
+            self.suites[instruction.roller].verify_roller_at(instruction.slot)
+            return None
+        if isinstance(instruction, MoveArm):
+            arm = self.arms[instruction.arm]
+            yield from arm.move_to_layer(instruction.layer)
+            self.suites[instruction.arm].verify_arm_at(instruction.layer)
+            return None
+        if isinstance(instruction, HookTray):
+            yield from self.arms[instruction.arm].hook_tray()
+            return None
+        if isinstance(instruction, ReleaseTray):
+            yield from self.arms[instruction.arm].release_tray()
+            return None
+        if isinstance(instruction, FanOut):
+            roller = self.rollers[instruction.roller]
+            arm = self.arms[instruction.roller]
+            if not arm.hooked:
+                raise PLCFaultError("fan-out without the tray hooked")
+            address = TrayAddress(instruction.layer, instruction.slot)
+            yield from roller.fan_out(address)
+            return None
+        if isinstance(instruction, FanIn):
+            yield from self.rollers[instruction.roller].fan_in()
+            return None
+        if isinstance(instruction, GrabStack):
+            roller = self.rollers[instruction.roller]
+            arm = self.arms[instruction.arm]
+            address = roller.fanned_out
+            if address is None:
+                raise PLCFaultError("grab-stack with no tray fanned out")
+            tray = roller.tray_at(address)
+            discs = tray.take_all()
+            yield from arm.grab_stack(discs)
+            return discs
+        if isinstance(instruction, LowerStack):
+            roller = self.rollers[instruction.roller]
+            arm = self.arms[instruction.arm]
+            address = roller.fanned_out
+            if address is None:
+                raise PLCFaultError("lower-stack with no tray fanned out")
+            discs = yield from arm.lower_stack()
+            roller.tray_at(address).put_back(discs)
+            return None
+        if isinstance(instruction, SeparateDisc):
+            arm = self.arms[instruction.arm]
+            disc = yield from arm.separate_next()
+            suite = self.suites[instruction.arm]
+            suite.verify_separation_gap(0.0)
+            return disc
+        if isinstance(instruction, CollectDisc):
+            # The caller removes the disc from the drive and passes it via
+            # the two-phase collect protocol (see MechanicalSubsystem).
+            raise PLCFaultError(
+                "CollectDisc must be executed via collect_into_arm()"
+            )
+        if isinstance(instruction, Calibrate):
+            yield Delay(1.0)
+            for sensor in self.suites[instruction.arm].all_sensors():
+                sensor.repair()
+            return None
+        raise PLCFaultError(f"unknown instruction {instruction!r}")
+
+    def collect_into_arm(self, arm_index: int, disc) -> Generator:
+        """Timed fetch of one disc from a drive tray onto the arm's stack."""
+        self.instructions_executed += 1
+        yield from self.arms[arm_index].collect_next(disc)

@@ -1,0 +1,19 @@
+"""Reliability and cost models: array error rates, MV sizing, TCO."""
+
+from repro.reliability.model import (
+    array_error_rate,
+    raid5_array_error_rate,
+    raid6_array_error_rate,
+)
+from repro.reliability.sizing import mv_capacity_bytes
+from repro.reliability.tco import TCOModel, TCOInputs, MEDIA_PROFILES
+
+__all__ = [
+    "MEDIA_PROFILES",
+    "TCOInputs",
+    "TCOModel",
+    "array_error_rate",
+    "mv_capacity_bytes",
+    "raid5_array_error_rate",
+    "raid6_array_error_rate",
+]

@@ -1,0 +1,50 @@
+"""MV capacity model (§4.2).
+
+"MV with 1 billion files and 1 billion directories only needs about
+2.3 TB, which is only 0.23 % of the overall 1 PB data capacity."
+
+Every namespace entry costs one index file: a 1 KB MV block (the paper
+formats MV with 1 KB blocks; the typical 388-byte JSON index fits one) plus
+the smallest 128-byte inode.  Append-heavy files may spill into more
+blocks (15 entries x 40 B still fits one).
+"""
+
+from __future__ import annotations
+
+from repro import units
+from repro.olfs.index import (
+    TYPICAL_INDEX_FILE_BYTES,
+    VERSION_ENTRY_BYTES,
+)
+from repro.olfs.metadata import MV_BLOCK_SIZE, MV_INODE_SIZE
+
+
+def index_file_bytes(versions: int = 1) -> int:
+    """Estimated serialized size of an index file with ``versions``."""
+    return TYPICAL_INDEX_FILE_BYTES + (versions - 1) * VERSION_ENTRY_BYTES
+
+
+def mv_entry_footprint(versions: int = 1) -> int:
+    """Bytes one namespace entry occupies in MV (blocks + inode)."""
+    blocks = -(-index_file_bytes(versions) // MV_BLOCK_SIZE)
+    return blocks * MV_BLOCK_SIZE + MV_INODE_SIZE
+
+
+def mv_capacity_bytes(
+    files: int = 1_000_000_000,
+    directories: int = 1_000_000_000,
+    versions_per_file: int = 1,
+) -> int:
+    """Total MV footprint for a namespace of this shape."""
+    per_file = mv_entry_footprint(versions_per_file)
+    per_dir = mv_entry_footprint(1)
+    return files * per_file + directories * per_dir
+
+
+def mv_fraction_of_capacity(
+    data_capacity: int = units.PB,
+    files: int = 1_000_000_000,
+    directories: int = 1_000_000_000,
+) -> float:
+    """MV bytes as a fraction of the library's data capacity (~0.23 %)."""
+    return mv_capacity_bytes(files, directories) / data_capacity

@@ -1,0 +1,147 @@
+"""Processor-sharing bandwidth model for I/O-stream interference.
+
+A :class:`SharedBandwidth` models a device or link of fixed capacity
+(bytes/second) shared *fluidly* by all active transfers: at any instant each
+flow receives ``capacity * weight / total_weight``.  This is the classic
+fluid-flow approximation used in storage simulators and is exactly what the
+paper's Section 4.7 argument is about — four concurrent intensive streams on
+one RAID volume slow each other down, which is why ROS provisions multiple
+independent RAID volumes.
+
+Usage (inside a process generator)::
+
+    yield from volume_bw.transfer(nbytes)          # weight 1
+    yield from volume_bw.transfer(nbytes, weight=2)
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+
+from repro.sim.engine import SimulationError, Wait
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Engine, SimEvent, Timer
+
+_EPSILON_BYTES = 1e-6
+
+
+class _Flow:
+    __slots__ = ("remaining", "weight", "event")
+
+    def __init__(self, remaining: float, weight: float, event: "SimEvent"):
+        self.remaining = remaining
+        self.weight = weight
+        self.event = event
+
+
+class SharedBandwidth:
+    """A capacity (bytes/s) shared by concurrent flows, processor-sharing."""
+
+    def __init__(self, engine: "Engine", capacity: float, name: str = ""):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.engine = engine
+        self.capacity = float(capacity)
+        self.name = name
+        self._flows: list[_Flow] = []
+        self._last_settled = engine.now
+        self._timer: Optional["Timer"] = None
+        self._bytes_moved = 0.0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    @property
+    def active_flows(self) -> int:
+        return len(self._flows)
+
+    @property
+    def bytes_moved(self) -> float:
+        """Total bytes transferred through this device so far (settled)."""
+        self._settle()
+        return self._bytes_moved
+
+    def current_rate(self, weight: float = 1.0) -> float:
+        """Rate a new flow of ``weight`` would receive right now, bytes/s."""
+        total = sum(flow.weight for flow in self._flows) + weight
+        return self.capacity * weight / total
+
+    def transfer(self, nbytes: float, weight: float = 1.0) -> Generator:
+        """Generator effect: completes when ``nbytes`` have moved.
+
+        Use as ``yield from bandwidth.transfer(n)`` inside a process.
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size: {nbytes}")
+        if weight <= 0:
+            raise ValueError(f"weight must be positive, got {weight}")
+        if nbytes == 0:
+            return
+        event = self.engine.event(f"{self.name}:transfer")
+        self._settle()
+        self._flows.append(_Flow(float(nbytes), float(weight), event))
+        self._reschedule()
+        yield Wait(event)
+
+    def estimate_seconds(self, nbytes: float) -> float:
+        """Time to move ``nbytes`` if this flow ran alone (no contention)."""
+        return nbytes / self.capacity
+
+    # ------------------------------------------------------------------
+    # Fluid-flow bookkeeping
+    # ------------------------------------------------------------------
+    def _total_weight(self) -> float:
+        return sum(flow.weight for flow in self._flows)
+
+    def _completion_threshold(self) -> float:
+        """Bytes below which a flow counts as finished.
+
+        Scaled with capacity so that the completion delta never underflows
+        float time resolution (remaining/rate must stay representable when
+        added to the clock) — a sub-nanosecond tail is simply done.
+        """
+        return max(_EPSILON_BYTES, self.capacity * 1e-9)
+
+    def _settle(self) -> None:
+        """Advance every active flow's progress up to the current time."""
+        now = self.engine.now
+        elapsed = now - self._last_settled
+        self._last_settled = now
+        if not self._flows:
+            return
+        if elapsed > 0:
+            total_weight = self._total_weight()
+            for flow in self._flows:
+                rate = self.capacity * flow.weight / total_weight
+                moved = min(flow.remaining, rate * elapsed)
+                flow.remaining -= moved
+                self._bytes_moved += moved
+        threshold = self._completion_threshold()
+        finished = [f for f in self._flows if f.remaining <= threshold]
+        if finished:
+            self._flows = [f for f in self._flows if f.remaining > threshold]
+            for flow in finished:
+                self._bytes_moved += flow.remaining
+                flow.remaining = 0.0
+                flow.event.succeed()
+
+    def _reschedule(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if not self._flows:
+            return
+        total_weight = self._total_weight()
+        next_completion = min(
+            flow.remaining / (self.capacity * flow.weight / total_weight)
+            for flow in self._flows
+        )
+        if next_completion < 0:
+            raise SimulationError("negative completion time in bandwidth model")
+        self._timer = self.engine.call_later(next_completion, self._on_timer)
+
+    def _on_timer(self) -> None:
+        self._timer = None
+        self._settle()
+        self._reschedule()

@@ -1,0 +1,493 @@
+"""Core discrete-event engine: clock, timers, processes and effects.
+
+The engine owns a single simulated clock (seconds, float) and an event heap.
+Simulation *processes* are Python generators that yield effect objects; the
+engine interprets each effect, suspends the process and resumes it with the
+effect's result once the effect completes.
+
+Supported effects
+-----------------
+``Delay(seconds)``
+    Suspend the process for a fixed amount of simulated time.
+``Wait(event)``
+    Suspend until ``event.succeed(value)`` is called; resumes with ``value``.
+``Spawn(generator)``
+    Start a child process running concurrently; resumes immediately with the
+    child's :class:`Process` handle.
+``Join(process)``
+    Suspend until the given process finishes; resumes with its return value,
+    or re-raises the exception that killed it.
+``AllOf(processes)``
+    Suspend until every process in the list finishes; resumes with the list
+    of their return values (raises the first failure).
+``Acquire(resource, priority=0)``
+    Queue on a :class:`repro.sim.resources.Resource`; resumes with a
+    :class:`repro.sim.resources.Grant` once capacity is available.
+
+Processes may also be interrupted (:meth:`Process.interrupt`), which raises
+:class:`Interrupt` inside the generator at its current yield point.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for engine-level failures (deadlock, misuse of effects)."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process generator when it is interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Effect:
+    """Base class for objects a process may yield to the engine."""
+
+    __slots__ = ()
+
+
+class Delay(Effect):
+    """Suspend the yielding process for ``seconds`` of simulated time."""
+
+    __slots__ = ("seconds",)
+
+    def __init__(self, seconds: float):
+        if seconds < 0:
+            raise ValueError(f"negative delay: {seconds!r}")
+        self.seconds = float(seconds)
+
+    def __repr__(self) -> str:
+        return f"Delay({self.seconds!r})"
+
+
+class Wait(Effect):
+    """Suspend the yielding process until the event fires."""
+
+    __slots__ = ("event",)
+
+    def __init__(self, event: "SimEvent"):
+        self.event = event
+
+
+class Spawn(Effect):
+    """Start a child process; the yield resumes immediately with its handle."""
+
+    __slots__ = ("generator", "name")
+
+    def __init__(self, generator: Generator, name: str = ""):
+        self.generator = generator
+        self.name = name
+
+
+class Join(Effect):
+    """Suspend until ``process`` completes; resumes with its return value."""
+
+    __slots__ = ("process",)
+
+    def __init__(self, process: "Process"):
+        self.process = process
+
+
+class AllOf(Effect):
+    """Suspend until every process in ``processes`` completes."""
+
+    __slots__ = ("processes",)
+
+    def __init__(self, processes: Iterable["Process"]):
+        self.processes = list(processes)
+
+
+class FirstOf(Effect):
+    """Suspend until the *first* of several processes completes.
+
+    Resumes with ``(index, result)`` of the winner; a losing process keeps
+    running (interrupt it explicitly if its work is moot).  If the winner
+    failed, its exception is re-raised in the waiter.
+    """
+
+    __slots__ = ("processes",)
+
+    def __init__(self, processes: Iterable["Process"]):
+        self.processes = list(processes)
+        if not self.processes:
+            raise ValueError("FirstOf needs at least one process")
+
+
+class Acquire(Effect):
+    """Queue on a resource; resumes with a Grant when capacity is free."""
+
+    __slots__ = ("resource", "priority")
+
+    def __init__(self, resource, priority: int = 0):
+        self.resource = resource
+        self.priority = priority
+
+
+class Timer:
+    """Handle for a scheduled callback; may be cancelled before it fires."""
+
+    __slots__ = ("time", "callback", "cancelled")
+
+    def __init__(self, time: float, callback: Callable[[], None]):
+        self.time = time
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class SimEvent:
+    """One-shot event that processes can wait on.
+
+    ``succeed(value)`` wakes every waiter with ``value``; ``fail(exc)``
+    raises ``exc`` in every waiter.  Waiters that arrive after the event has
+    fired resume immediately.
+    """
+
+    __slots__ = ("engine", "name", "_fired", "_value", "_exception", "_waiters")
+
+    def __init__(self, engine: "Engine", name: str = ""):
+        self.engine = engine
+        self.name = name
+        self._fired = False
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._waiters: list["Process"] = []
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    @property
+    def value(self) -> Any:
+        if not self._fired:
+            raise SimulationError(f"event {self.name!r} has not fired")
+        return self._value
+
+    def succeed(self, value: Any = None) -> None:
+        if self._fired:
+            raise SimulationError(f"event {self.name!r} fired twice")
+        self._fired = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            self.engine._schedule_resume(process, value=value)
+
+    def fail(self, exception: BaseException) -> None:
+        if self._fired:
+            raise SimulationError(f"event {self.name!r} fired twice")
+        self._fired = True
+        self._exception = exception
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            self.engine._schedule_resume(process, exception=exception)
+
+    def _add_waiter(self, process: "Process") -> None:
+        if self._fired:
+            if self._exception is not None:
+                self.engine._schedule_resume(process, exception=self._exception)
+            else:
+                self.engine._schedule_resume(process, value=self._value)
+        else:
+            self._waiters.append(process)
+
+    def _remove_waiter(self, process: "Process") -> None:
+        if process in self._waiters:
+            self._waiters.remove(process)
+
+
+class Process:
+    """A running simulation process wrapping a generator.
+
+    The engine resumes the generator each time its pending effect completes.
+    ``done``, ``result`` and ``error`` expose the terminal state; other
+    processes can wait for completion via the :class:`Join` effect.
+    """
+
+    __slots__ = (
+        "engine",
+        "name",
+        "_generator",
+        "done",
+        "_result",
+        "_error",
+        "_error_observed",
+        "_completion_waiters",
+        "_pending_cancel",
+        "_waiting_on",
+    )
+
+    def __init__(self, engine: "Engine", generator: Generator, name: str = ""):
+        self.engine = engine
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        self.done = False
+        self._result: Any = None
+        self._error: Optional[BaseException] = None
+        self._error_observed = False
+        self._completion_waiters: list[Process] = []
+        # Callback that detaches this process from whatever it is waiting on
+        # (timer, event, resource queue); used by interrupt().
+        self._pending_cancel: Optional[Callable[[], None]] = None
+        self._waiting_on: Optional[str] = None
+
+    @property
+    def result(self) -> Any:
+        if not self.done:
+            raise SimulationError(f"process {self.name!r} still running")
+        if self._error is not None:
+            self._error_observed = True
+            raise self._error
+        return self._result
+
+    @property
+    def error(self) -> Optional[BaseException]:
+        self._error_observed = True
+        return self._error
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Interrupt the process at its current yield point.
+
+        Raises :class:`Interrupt` inside the generator.  Interrupting a
+        finished process is a no-op.
+        """
+        if self.done:
+            return
+        if self._pending_cancel is None:
+            raise SimulationError(
+                f"cannot interrupt process {self.name!r}: not suspended"
+            )
+        self._pending_cancel()
+        self._pending_cancel = None
+        self._waiting_on = None
+        self.engine._schedule_resume(self, exception=Interrupt(cause))
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else f"waiting:{self._waiting_on}"
+        return f"<Process {self.name} {state}>"
+
+
+class Engine:
+    """The discrete-event simulator: clock, heap and process scheduler."""
+
+    def __init__(self):
+        self._now = 0.0
+        self._heap: list[tuple[float, int, Timer]] = []
+        self._sequence = itertools.count()
+        self._active: int = 0  # number of live (unfinished) processes
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # Timers
+    # ------------------------------------------------------------------
+    def call_at(self, time: float, callback: Callable[[], None]) -> Timer:
+        if time < self._now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule in the past: {time} < {self._now}"
+            )
+        timer = Timer(max(time, self._now), callback)
+        heapq.heappush(self._heap, (timer.time, next(self._sequence), timer))
+        return timer
+
+    def call_later(self, delay: float, callback: Callable[[], None]) -> Timer:
+        return self.call_at(self._now + delay, callback)
+
+    def event(self, name: str = "") -> SimEvent:
+        return SimEvent(self, name)
+
+    # ------------------------------------------------------------------
+    # Processes
+    # ------------------------------------------------------------------
+    def spawn(self, generator: Generator, name: str = "") -> Process:
+        """Start a new process; it first runs at the current simulated time."""
+        process = Process(self, generator, name)
+        self._active += 1
+        self._schedule_resume(process, value=None, first=True)
+        return process
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run scheduled events, optionally stopping at simulated time ``until``."""
+        while self._heap:
+            time, _seq, timer = self._heap[0]
+            if until is not None and time > until:
+                break
+            heapq.heappop(self._heap)
+            if timer.cancelled:
+                continue
+            self._now = time
+            timer.callback()
+        if until is not None and self._now < until:
+            self._now = until
+
+    def run_process(self, generator: Generator, name: str = "") -> Any:
+        """Spawn ``generator`` and run the simulation until it completes.
+
+        Stops as soon as the process finishes — background processes keep
+        their pending events queued for later ``run``/``run_process`` calls.
+        Returns the process's return value, re-raises its exception, and
+        raises :class:`SimulationError` on deadlock (event exhaustion while
+        the process is still suspended).
+        """
+        process = self.spawn(generator, name)
+        while not process.done and self._heap:
+            time, _seq, timer = heapq.heappop(self._heap)
+            if timer.cancelled:
+                continue
+            self._now = time
+            timer.callback()
+        if not process.done:
+            raise SimulationError(
+                f"deadlock: process {process.name!r} never completed "
+                f"(waiting on {process._waiting_on})"
+            )
+        return process.result
+
+    # ------------------------------------------------------------------
+    # Internal: resuming processes and interpreting effects
+    # ------------------------------------------------------------------
+    def _schedule_resume(
+        self,
+        process: Process,
+        value: Any = None,
+        exception: Optional[BaseException] = None,
+        first: bool = False,
+    ) -> None:
+        def resume() -> None:
+            self._step(process, value, exception)
+
+        self.call_at(self._now, resume)
+        if not first:
+            process._pending_cancel = None
+
+    def _step(
+        self,
+        process: Process,
+        value: Any,
+        exception: Optional[BaseException],
+    ) -> None:
+        generator = process._generator
+        process._pending_cancel = None
+        process._waiting_on = None
+        try:
+            if exception is not None:
+                effect = generator.throw(exception)
+            else:
+                effect = generator.send(value)
+        except StopIteration as stop:
+            self._finish(process, result=stop.value)
+            return
+        except Exception as error:  # noqa: BLE001 - propagate via joiners
+            self._finish(process, error=error)
+            return
+        self._apply_effect(process, effect)
+
+    def _apply_effect(self, process: Process, effect: Any) -> None:
+        if isinstance(effect, Delay):
+            timer = self.call_later(
+                effect.seconds, lambda: self._step(process, None, None)
+            )
+            process._pending_cancel = timer.cancel
+            process._waiting_on = f"delay({effect.seconds:.3f}s)"
+        elif isinstance(effect, Wait):
+            event = effect.event
+            event._add_waiter(process)
+            process._pending_cancel = lambda: event._remove_waiter(process)
+            process._waiting_on = f"event({event.name})"
+        elif isinstance(effect, Spawn):
+            child = self.spawn(effect.generator, effect.name)
+            self._schedule_resume(process, value=child)
+        elif isinstance(effect, Join):
+            self._join(process, effect.process)
+        elif isinstance(effect, AllOf):
+            self._join_all(process, effect.processes)
+        elif isinstance(effect, FirstOf):
+            self._join_first(process, effect.processes)
+        elif isinstance(effect, Acquire):
+            effect.resource._enqueue(process, effect.priority)
+        else:
+            self._finish(
+                process,
+                error=SimulationError(
+                    f"process {process.name!r} yielded non-effect {effect!r}"
+                ),
+            )
+
+    def _join(self, waiter: Process, target: Process) -> None:
+        if target.done:
+            if target._error is not None:
+                target._error_observed = True
+                self._schedule_resume(waiter, exception=target._error)
+            else:
+                self._schedule_resume(waiter, value=target._result)
+        else:
+            target._completion_waiters.append(waiter)
+            waiter._pending_cancel = (
+                lambda: target._completion_waiters.remove(waiter)
+                if waiter in target._completion_waiters
+                else None
+            )
+            waiter._waiting_on = f"join({target.name})"
+
+    def _join_all(self, waiter: Process, targets: list[Process]) -> None:
+        def collector() -> Generator:
+            results = []
+            for target in targets:
+                results.append((yield Join(target)))
+            return results
+
+        self._join(waiter, self.spawn(collector(), name="allof"))
+
+    def _join_first(self, waiter: Process, targets: list[Process]) -> None:
+        finish_line = self.event("firstof")
+
+        def forwarder(index: int, target: Process) -> Generator:
+            try:
+                result = yield Join(target)
+            except BaseException as error:  # noqa: BLE001
+                if not finish_line.fired:
+                    finish_line.fail(error)
+                return
+            if not finish_line.fired:
+                finish_line.succeed((index, result))
+
+        def racer() -> Generator:
+            for index, target in enumerate(targets):
+                yield Spawn(forwarder(index, target), name=f"race-{index}")
+            winner = yield Wait(finish_line)
+            return winner
+
+        self._join(waiter, self.spawn(racer(), name="firstof"))
+
+    def _finish(
+        self,
+        process: Process,
+        result: Any = None,
+        error: Optional[BaseException] = None,
+    ) -> None:
+        process.done = True
+        process._result = result
+        process._error = error
+        self._active -= 1
+        waiters, process._completion_waiters = process._completion_waiters, []
+        for waiter in waiters:
+            if error is not None:
+                process._error_observed = True
+                self._schedule_resume(waiter, exception=error)
+            else:
+                self._schedule_resume(waiter, value=result)

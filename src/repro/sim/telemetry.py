@@ -1,0 +1,93 @@
+"""Telemetry: periodic sampling of simulation state into time series.
+
+Benchmarks and examples often need "X over simulated time" (Figure 9's
+aggregate-throughput curve, buffer occupancy, queue depths).  A
+:class:`Sampler` runs as a background process, evaluating named probe
+callables on a fixed period and accumulating ``(t, value)`` series until
+stopped or until its horizon passes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from repro.sim.engine import Delay, Engine
+
+
+class Sampler:
+    """Samples named probes every ``period`` seconds of simulated time."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        period: float,
+        probes: dict[str, Callable[[], float]],
+        horizon: Optional[float] = None,
+    ):
+        if period <= 0:
+            raise ValueError("period must be positive")
+        if not probes:
+            raise ValueError("need at least one probe")
+        self.engine = engine
+        self.period = float(period)
+        self.probes = dict(probes)
+        self.horizon = horizon
+        self.series: dict[str, list[tuple[float, float]]] = {
+            name: [] for name in probes
+        }
+        self._stopped = False
+        self._process = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> "Sampler":
+        self._process = self.engine.spawn(self._run(), name="sampler")
+        return self
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _run(self) -> Generator:
+        deadline = (
+            self.engine.now + self.horizon if self.horizon is not None else None
+        )
+        while not self._stopped:
+            yield Delay(self.period)
+            if deadline is not None and self.engine.now > deadline:
+                return
+            now = self.engine.now
+            for name, probe in self.probes.items():
+                self.series[name].append((now, float(probe())))
+
+    # ------------------------------------------------------------------
+    # Series analysis helpers
+    # ------------------------------------------------------------------
+    def values(self, name: str) -> list[float]:
+        return [value for _, value in self.series[name]]
+
+    def peak(self, name: str) -> float:
+        values = self.values(name)
+        return max(values) if values else 0.0
+
+    def mean(self, name: str) -> float:
+        values = self.values(name)
+        return sum(values) / len(values) if values else 0.0
+
+    def time_above(self, name: str, threshold: float) -> float:
+        """Simulated seconds the series spent at or above ``threshold``."""
+        return self.period * sum(
+            1 for value in self.values(name) if value >= threshold
+        )
+
+    def to_rows(self, stride: int = 1) -> list[dict]:
+        """Tabular form for report printing (one row per sample time)."""
+        if not self.series:
+            return []
+        names = list(self.series)
+        length = min(len(self.series[name]) for name in names)
+        rows = []
+        for index in range(0, length, max(1, stride)):
+            row = {"t_s": round(self.series[names[0]][index][0], 1)}
+            for name in names:
+                row[name] = round(self.series[name][index][1], 2)
+            rows.append(row)
+        return rows

@@ -1,0 +1,28 @@
+"""Disk tier: block devices, RAID arrays and volumes.
+
+ROS fronts the optical library with SSDs and HDDs (§3.3): a RAID-1 SSD pair
+for the metadata volume and RAID-5 HDD sets for the write buffer / read
+cache.  Devices model throughput (processor-sharing), per-request latency,
+capacity and failure; RAID implements real striping and parity so
+reconstruction is exercised with actual bytes.
+"""
+
+from repro.storage.block import BlockDevice
+from repro.storage.devices import make_hdd, make_ssd
+from repro.storage.raid import RAID0, RAID1, RAID5, RAID6, RAIDArray
+from repro.storage.volume import Volume
+from repro.storage.scheduler import IOStreamScheduler, StreamKind
+
+__all__ = [
+    "BlockDevice",
+    "IOStreamScheduler",
+    "RAID0",
+    "RAID1",
+    "RAID5",
+    "RAID6",
+    "RAIDArray",
+    "StreamKind",
+    "Volume",
+    "make_hdd",
+    "make_ssd",
+]

@@ -1,0 +1,118 @@
+"""Block devices: content-addressable chunk store + timing model.
+
+A :class:`BlockDevice` does two independent jobs:
+
+* **Timing** — transfers go through a processor-sharing
+  :class:`~repro.sim.bandwidth.SharedBandwidth` plus a per-request access
+  latency, so concurrent streams on one spindle slow each other down.
+* **Content** — chunks of real bytes keyed by chunk index, so RAID parity
+  and reconstruction operate on actual data.
+
+Content operations are optional: the OLFS data path charges timing against
+volumes while holding file content in higher-level structures; RAID
+correctness tests exercise the chunk store directly.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.errors import DeviceFailedError, StorageError
+from repro.sim.bandwidth import SharedBandwidth
+from repro.sim.engine import Delay, Engine
+
+#: Chunk granularity for the content store (also the RAID stripe unit).
+CHUNK_SIZE = 64 * 1024
+
+
+class BlockDevice:
+    """One disk (HDD or SSD): capacity, bandwidth, latency, chunk store."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        name: str,
+        capacity: int,
+        throughput: float,
+        access_latency: float,
+    ):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.engine = engine
+        self.name = name
+        self.capacity = int(capacity)
+        self.throughput = float(throughput)
+        self.access_latency = float(access_latency)
+        self.bandwidth = SharedBandwidth(engine, throughput, name=name)
+        self.failed = False
+        self._chunks: dict[int, bytes] = {}
+        self.reads = 0
+        self.writes = 0
+
+    # ------------------------------------------------------------------
+    # Failure injection
+    # ------------------------------------------------------------------
+    def fail(self) -> None:
+        """Simulate device death; contents become unreachable."""
+        self.failed = True
+
+    def replace(self) -> None:
+        """Swap in a fresh blank device of the same geometry."""
+        self.failed = False
+        self._chunks.clear()
+
+    def _check(self) -> None:
+        if self.failed:
+            raise DeviceFailedError(f"device {self.name} has failed")
+
+    # ------------------------------------------------------------------
+    # Timing-only transfers (used by the volume layer)
+    # ------------------------------------------------------------------
+    def transfer(self, nbytes: float, is_write: bool = False) -> Generator:
+        """Charge latency + bandwidth for moving ``nbytes``."""
+        self._check()
+        if nbytes < 0:
+            raise StorageError(f"negative transfer: {nbytes}")
+        if is_write:
+            self.writes += 1
+        else:
+            self.reads += 1
+        yield Delay(self.access_latency)
+        yield from self.bandwidth.transfer(nbytes)
+
+    # ------------------------------------------------------------------
+    # Content operations (used by RAID)
+    # ------------------------------------------------------------------
+    def write_chunk(self, index: int, data: bytes) -> Generator:
+        """Store one chunk (timed)."""
+        self._check()
+        if len(data) > CHUNK_SIZE:
+            raise StorageError(
+                f"chunk of {len(data)} bytes exceeds {CHUNK_SIZE}"
+            )
+        if (index + 1) * CHUNK_SIZE > self.capacity:
+            raise StorageError(
+                f"chunk {index} beyond device capacity {self.capacity}"
+            )
+        yield from self.transfer(len(data), is_write=True)
+        self._chunks[index] = bytes(data)
+
+    def read_chunk(self, index: int) -> Generator:
+        """Fetch one chunk (timed); missing chunks read as zeros."""
+        self._check()
+        data = self._chunks.get(index, b"\x00" * CHUNK_SIZE)
+        yield from self.transfer(len(data), is_write=False)
+        return data
+
+    def peek_chunk(self, index: int) -> Optional[bytes]:
+        """Untimed content inspection (for tests/recovery tooling)."""
+        self._check()
+        return self._chunks.get(index)
+
+    @property
+    def stored_chunks(self) -> int:
+        return len(self._chunks)
+
+    def __repr__(self) -> str:
+        state = "FAILED" if self.failed else "ok"
+        return f"<BlockDevice {self.name} {state} {self.stored_chunks} chunks>"

@@ -1,0 +1,79 @@
+"""I/O-stream-to-volume scheduling (§4.7).
+
+Four intensive stream kinds coexist in ROS: user writes landing in buckets,
+parity-maker reads, parity-maker writes, and burn staging reads.  On a
+single volume they interfere (processor sharing); ROS therefore configures
+multiple independent RAID volumes and schedules the streams apart.  The
+:class:`IOStreamScheduler` implements both policies so the ablation bench
+can quantify the difference.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Iterable
+
+from repro.errors import StorageError
+from repro.storage.volume import Volume
+
+
+class StreamKind(enum.Enum):
+    USER_WRITE = "user-write"
+    PARITY_READ = "parity-read"
+    PARITY_WRITE = "parity-write"
+    BURN_READ = "burn-read"
+    USER_READ = "user-read"
+
+
+class IOStreamScheduler:
+    """Maps stream kinds onto buffer volumes.
+
+    ``policy='partitioned'`` pins each kind to its own volume (round-robin
+    when kinds outnumber volumes, pairing the two parity streams last);
+    ``policy='shared'`` sends everything to the first volume — the baseline
+    that §4.7 warns about.
+    """
+
+    POLICIES = ("partitioned", "shared")
+
+    def __init__(self, volumes: list[Volume], policy: str = "partitioned"):
+        if not volumes:
+            raise StorageError("scheduler needs at least one volume")
+        if policy not in self.POLICIES:
+            raise StorageError(f"unknown policy {policy!r}")
+        self.volumes = list(volumes)
+        self.policy = policy
+        self._assignment: dict[StreamKind, Volume] = {}
+        self._build_assignment()
+
+    def _build_assignment(self) -> None:
+        if self.policy == "shared":
+            for kind in StreamKind:
+                self._assignment[kind] = self.volumes[0]
+            return
+        # Partitioned: keep writer streams and reader streams apart first.
+        preference = [
+            StreamKind.USER_WRITE,
+            StreamKind.BURN_READ,
+            StreamKind.PARITY_READ,
+            StreamKind.PARITY_WRITE,
+            StreamKind.USER_READ,
+        ]
+        cycle = itertools.cycle(range(len(self.volumes)))
+        for kind in preference:
+            self._assignment[kind] = self.volumes[next(cycle)]
+
+    def volume_for(self, kind: StreamKind) -> Volume:
+        return self._assignment[kind]
+
+    def assignment(self) -> dict[StreamKind, str]:
+        """Human-readable mapping for reports."""
+        return {kind: vol.name for kind, vol in self._assignment.items()}
+
+    def distinct_volumes(self) -> Iterable[Volume]:
+        seen = []
+        for volume in self._assignment.values():
+            if volume not in seen:
+                seen.append(volume)
+        return seen

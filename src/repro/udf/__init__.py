@@ -1,0 +1,31 @@
+"""A working UDF-like file system (Universal Disc Format, simplified).
+
+OLFS leans on UDF for both of its on-disc structures (§4): *buckets* are
+updatable UDF volumes on the disk write buffer, *disc images* are closed
+UDF volumes burned onto media.  This package implements the pieces that
+matter to the paper's design:
+
+* fixed 2 KB blocks ("in the UDF file system the basic block size is 2 KB
+  and cannot be changed", §4.5);
+* each file/directory costs at least one 2 KB entry block, so tiny files
+  halve usable capacity in the worst case (§4.5);
+* full directory subtrees inside every volume (the unique-file-path design
+  of §4.4 needs images to carry their files' ancestor directories);
+* volumes serialize to a self-describing byte layout (anchor descriptor +
+  entry table + data extents) and mount back, which is what makes burned
+  discs independently readable for recovery (§4.4).
+"""
+
+from repro.udf.constants import BLOCK_SIZE, ENTRY_BLOCKS
+from repro.udf.entry import DirectoryEntry, FileEntry
+from repro.udf.filesystem import UDFFileSystem
+from repro.udf.image import DiscImage
+
+__all__ = [
+    "BLOCK_SIZE",
+    "DirectoryEntry",
+    "DiscImage",
+    "ENTRY_BLOCKS",
+    "FileEntry",
+    "UDFFileSystem",
+]

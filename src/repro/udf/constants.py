@@ -1,0 +1,14 @@
+"""UDF layout constants."""
+
+#: Fixed UDF block size (§4.5: "the basic block size is 2 KB and cannot be
+#: changed").
+BLOCK_SIZE = 2048
+
+#: Blocks consumed by a file/directory entry (the 2 KB minimum allocation).
+ENTRY_BLOCKS = 1
+
+#: Magic marking the start of a serialized volume (our anchor descriptor).
+VOLUME_MAGIC = b"ROS-UDF2"
+
+#: On-disc format version for serialized volumes.
+FORMAT_VERSION = 2

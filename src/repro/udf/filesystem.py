@@ -1,0 +1,307 @@
+"""The in-memory UDF volume: a block-accounted directory tree.
+
+Paths are absolute, slash-separated, rooted at ``/``.  The volume tracks
+every entry's block consumption against a fixed capacity; an *open* volume
+(a bucket) accepts writes and in-place updates, a *closed* volume (a disc
+image) is read-only — matching the bucket -> image life cycle of §4.3.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.errors import (
+    DirectoryNotEmptyOLFSError,
+    FileExistsOLFSError,
+    FileNotFoundOLFSError,
+    InvalidPathError,
+    IsADirectoryOLFSError,
+    NoSpaceOLFSError,
+    NotADirectoryOLFSError,
+    ReadOnlyOLFSError,
+)
+from repro.udf.constants import BLOCK_SIZE, ENTRY_BLOCKS
+from repro.udf.entry import DirectoryEntry, FileEntry, blocks_for_data
+
+
+def split_path(path: str) -> list[str]:
+    """Validate and split an absolute path into components."""
+    if not path or not path.startswith("/"):
+        raise InvalidPathError(f"path must be absolute: {path!r}")
+    parts = [part for part in path.split("/") if part]
+    for part in parts:
+        if part in (".", ".."):
+            raise InvalidPathError(f"relative component in {path!r}")
+    return parts
+
+
+class UDFFileSystem:
+    """One UDF volume: 2 KB blocks, capacity-bounded, open or closed."""
+
+    def __init__(self, capacity: int, label: str = ""):
+        if capacity < BLOCK_SIZE:
+            raise ValueError(f"capacity {capacity} below one block")
+        self.capacity = int(capacity)
+        self.label = label
+        self.root = DirectoryEntry(name="/")
+        self.read_only = False
+        self._used_blocks = ENTRY_BLOCKS  # the root directory entry
+
+    # ------------------------------------------------------------------
+    # Space accounting
+    # ------------------------------------------------------------------
+    @property
+    def total_blocks(self) -> int:
+        return self.capacity // BLOCK_SIZE
+
+    @property
+    def used_blocks(self) -> int:
+        return self._used_blocks
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used_blocks * BLOCK_SIZE
+
+    @property
+    def free_blocks(self) -> int:
+        return self.total_blocks - self._used_blocks
+
+    @property
+    def free_bytes(self) -> int:
+        return self.free_blocks * BLOCK_SIZE
+
+    def blocks_needed_for(self, path: str, nbytes: int) -> int:
+        """Blocks a new file of ``nbytes`` at ``path`` would consume,
+        including any ancestor directories that do not exist yet."""
+        parts = split_path(path)
+        blocks = ENTRY_BLOCKS + blocks_for_data(nbytes)
+        node = self.root
+        for part in parts[:-1]:
+            child = node.children.get(part) if isinstance(node, DirectoryEntry) else None
+            if child is None or not isinstance(child, DirectoryEntry):
+                blocks += ENTRY_BLOCKS  # directory to be created
+                node = DirectoryEntry(name=part)
+            else:
+                node = child
+        return blocks
+
+    def fits(self, path: str, nbytes: int) -> bool:
+        return self.blocks_needed_for(path, nbytes) <= self.free_blocks
+
+    def _charge(self, blocks: int) -> None:
+        if blocks > self.free_blocks:
+            raise NoSpaceOLFSError(
+                f"volume {self.label!r}: need {blocks} blocks, "
+                f"{self.free_blocks} free"
+            )
+        self._used_blocks += blocks
+
+    def _refund(self, blocks: int) -> None:
+        self._used_blocks -= blocks
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def _lookup(self, path: str):
+        node = self.root
+        for part in split_path(path):
+            if not isinstance(node, DirectoryEntry):
+                raise NotADirectoryOLFSError(f"{path!r}: not a directory")
+            if part not in node.children:
+                raise FileNotFoundOLFSError(f"{path!r}: no such entry")
+            node = node.children[part]
+        return node
+
+    def exists(self, path: str) -> bool:
+        try:
+            self._lookup(path)
+            return True
+        except (FileNotFoundOLFSError, NotADirectoryOLFSError):
+            return False
+
+    def is_dir(self, path: str) -> bool:
+        try:
+            return isinstance(self._lookup(path), DirectoryEntry)
+        except (FileNotFoundOLFSError, NotADirectoryOLFSError):
+            return False
+
+    def is_file(self, path: str) -> bool:
+        try:
+            return isinstance(self._lookup(path), FileEntry)
+        except (FileNotFoundOLFSError, NotADirectoryOLFSError):
+            return False
+
+    def stat(self, path: str) -> dict:
+        node = self._lookup(path)
+        if isinstance(node, FileEntry):
+            return {
+                "type": "file",
+                "size": node.size,
+                "blocks": node.blocks,
+                "mtime": node.mtime,
+            }
+        return {
+            "type": "dir",
+            "entries": len(node.children),
+            "blocks": node.blocks,
+            "mtime": node.mtime,
+        }
+
+    def listdir(self, path: str = "/") -> list[str]:
+        node = self.root if path == "/" else self._lookup(path)
+        if not isinstance(node, DirectoryEntry):
+            raise NotADirectoryOLFSError(f"{path!r} is a file")
+        return node.child_names()
+
+    def walk(self, path: str = "/") -> Iterator[tuple[str, object]]:
+        """Depth-first (path, entry) pairs under ``path``, files and dirs."""
+        node = self.root if path == "/" else self._lookup(path)
+        base = "" if path == "/" else path.rstrip("/")
+
+        def recurse(prefix: str, directory: DirectoryEntry):
+            for name in directory.child_names():
+                child = directory.children[name]
+                child_path = f"{prefix}/{name}"
+                yield child_path, child
+                if isinstance(child, DirectoryEntry):
+                    yield from recurse(child_path, child)
+
+        if isinstance(node, DirectoryEntry):
+            yield from recurse(base, node)
+
+    def file_paths(self) -> list[str]:
+        return [
+            path
+            for path, entry in self.walk()
+            if isinstance(entry, FileEntry)
+        ]
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def _require_writable(self) -> None:
+        if self.read_only:
+            raise ReadOnlyOLFSError(
+                f"volume {self.label!r} is closed (read-only)"
+            )
+
+    def makedirs(self, path: str, mtime: float = 0.0) -> DirectoryEntry:
+        """Create a directory and any missing ancestors."""
+        self._require_writable()
+        node = self.root
+        for part in split_path(path):
+            if not isinstance(node, DirectoryEntry):
+                raise NotADirectoryOLFSError(f"{path!r}: ancestor is a file")
+            child = node.children.get(part)
+            if child is None:
+                self._charge(ENTRY_BLOCKS)
+                child = DirectoryEntry(name=part, mtime=mtime)
+                node.children[part] = child
+            node = child
+        if not isinstance(node, DirectoryEntry):
+            raise NotADirectoryOLFSError(f"{path!r} exists as a file")
+        return node
+
+    def write_file(
+        self,
+        path: str,
+        data: bytes,
+        logical_size: Optional[int] = None,
+        mtime: float = 0.0,
+        overwrite: bool = False,
+    ) -> FileEntry:
+        """Create (or, in an open volume, replace) a file with content."""
+        self._require_writable()
+        parts = split_path(path)
+        if not parts:
+            raise InvalidPathError("cannot write to /")
+        parent = (
+            self.makedirs("/" + "/".join(parts[:-1]), mtime)
+            if len(parts) > 1
+            else self.root
+        )
+        name = parts[-1]
+        existing = parent.children.get(name)
+        if existing is not None:
+            if isinstance(existing, DirectoryEntry):
+                raise IsADirectoryOLFSError(f"{path!r} is a directory")
+            if not overwrite:
+                raise FileExistsOLFSError(f"{path!r} exists")
+        entry = FileEntry(
+            name=name, data=bytes(data), logical_size=logical_size, mtime=mtime
+        )
+        new_blocks = entry.blocks - (existing.blocks if existing else 0)
+        if new_blocks > 0:
+            self._charge(new_blocks)
+        else:
+            self._refund(-new_blocks)
+        parent.children[name] = entry
+        return entry
+
+    def append_file(self, path: str, data: bytes, mtime: float = 0.0) -> FileEntry:
+        """Append to an existing file (open volumes only)."""
+        self._require_writable()
+        entry = self._lookup(path)
+        if isinstance(entry, DirectoryEntry):
+            raise IsADirectoryOLFSError(f"{path!r} is a directory")
+        if entry.logical_size != len(entry.data):
+            raise InvalidPathError(
+                f"{path!r}: cannot append to a declared-size file"
+            )
+        new_data = entry.data + bytes(data)
+        new_entry = FileEntry(name=entry.name, data=new_data, mtime=mtime)
+        delta = new_entry.blocks - entry.blocks
+        if delta > 0:
+            self._charge(delta)
+        parts = split_path(path)
+        parent = self.root if len(parts) == 1 else self._lookup(
+            "/" + "/".join(parts[:-1])
+        )
+        parent.children[entry.name] = new_entry
+        return new_entry
+
+    def read_file(self, path: str) -> bytes:
+        entry = self._lookup(path)
+        if isinstance(entry, DirectoryEntry):
+            raise IsADirectoryOLFSError(f"{path!r} is a directory")
+        return entry.data
+
+    def file_entry(self, path: str) -> FileEntry:
+        entry = self._lookup(path)
+        if isinstance(entry, DirectoryEntry):
+            raise IsADirectoryOLFSError(f"{path!r} is a directory")
+        return entry
+
+    def remove(self, path: str) -> None:
+        """Remove a file or empty directory (open volumes only)."""
+        self._require_writable()
+        parts = split_path(path)
+        if not parts:
+            raise InvalidPathError("cannot remove /")
+        parent = self.root if len(parts) == 1 else self._lookup(
+            "/" + "/".join(parts[:-1])
+        )
+        if not isinstance(parent, DirectoryEntry) or parts[-1] not in parent.children:
+            raise FileNotFoundOLFSError(f"{path!r}: no such entry")
+        entry = parent.children[parts[-1]]
+        if isinstance(entry, DirectoryEntry) and not entry.is_empty():
+            raise DirectoryNotEmptyOLFSError(f"{path!r} is not empty")
+        del parent.children[parts[-1]]
+        self._refund(entry.blocks)
+
+    def clear(self) -> None:
+        """Wipe all contents (bucket recycling, §4.3)."""
+        self._require_writable()
+        self.root = DirectoryEntry(name="/")
+        self._used_blocks = ENTRY_BLOCKS
+
+    def close(self) -> None:
+        """Finalize the volume: no further writes (bucket -> image)."""
+        self.read_only = True
+
+    def __repr__(self) -> str:
+        mode = "ro" if self.read_only else "rw"
+        return (
+            f"<UDFFileSystem {self.label!r} {mode} "
+            f"{self.used_blocks}/{self.total_blocks} blocks>"
+        )

@@ -1,0 +1,196 @@
+"""Disc images: serializable UDF volumes with identity.
+
+A disc image is OLFS's basic container (§4.1): "each disc image has the
+same capacity as the disc and has an internal UDF file system... disc
+images as a whole can swap between discs and disks.  Each disc image has a
+universal unique identifier."
+
+Three kinds exist:
+
+* ``data`` — a closed UDF volume holding user files (from a filled bucket);
+* ``parity`` — raw parity bytes over a disc array's data images (§4.7:
+  "the parity image is not a UDF volume");
+* ``metadata`` — a periodic snapshot of the Metadata Volume (§4.2), burned
+  so the global namespace can be recovered from discs.
+
+The serialized layout is self-describing (magic + JSON header + extents),
+which is what lets recovery reconstruct everything from survived discs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.errors import MediaError
+from repro.udf.constants import FORMAT_VERSION, VOLUME_MAGIC
+from repro.udf.entry import DirectoryEntry, FileEntry
+from repro.udf.filesystem import UDFFileSystem
+
+_HEADER_LEN_BYTES = 8
+
+DATA = "data"
+PARITY = "parity"
+METADATA = "metadata"
+_KINDS = (DATA, PARITY, METADATA)
+
+
+class DiscImage:
+    """An identified, serializable volume that swaps between disks and discs."""
+
+    def __init__(
+        self,
+        image_id: str,
+        kind: str = DATA,
+        filesystem: Optional[UDFFileSystem] = None,
+        raw: Optional[bytes] = None,
+        logical_size: Optional[int] = None,
+    ):
+        if kind not in _KINDS:
+            raise ValueError(f"unknown image kind {kind!r}")
+        if kind == PARITY:
+            if raw is None:
+                raise ValueError("parity images need raw bytes")
+        elif filesystem is None:
+            raise ValueError(f"{kind} images need a filesystem")
+        self.image_id = image_id
+        self.kind = kind
+        self.filesystem = filesystem
+        self.raw = raw
+        self._declared_size = logical_size
+
+    @property
+    def logical_size(self) -> int:
+        """Bytes this image occupies for burn timing/capacity purposes."""
+        if self._declared_size is not None:
+            return self._declared_size
+        if self.kind == PARITY:
+            return len(self.raw)
+        return self.filesystem.used_bytes
+
+    def mount(self) -> UDFFileSystem:
+        """The image's read-only file system view (data/metadata only)."""
+        if self.filesystem is None:
+            raise MediaError(f"image {self.image_id} ({self.kind}) has no fs")
+        return self.filesystem
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def serialize(self) -> bytes:
+        """Self-describing byte layout: magic | header length | JSON header
+        | concatenated file extents (or raw parity bytes)."""
+        if self.kind == PARITY:
+            header = {
+                "version": FORMAT_VERSION,
+                "image_id": self.image_id,
+                "kind": self.kind,
+                "logical_size": self.logical_size,
+                "payload_length": len(self.raw),
+            }
+            body = self.raw
+            head = json.dumps(header, sort_keys=True).encode()
+            return (
+                VOLUME_MAGIC
+                + len(head).to_bytes(_HEADER_LEN_BYTES, "big")
+                + head
+                + body
+            )
+        entries = []
+        extents = []
+        offset = 0
+        fs = self.filesystem
+        for path, entry in fs.walk():
+            if isinstance(entry, DirectoryEntry):
+                entries.append({"path": path, "type": "dir", "mtime": entry.mtime})
+            else:
+                entries.append(
+                    {
+                        "path": path,
+                        "type": "file",
+                        "size": entry.logical_size,
+                        "length": len(entry.data),
+                        "offset": offset,
+                        "mtime": entry.mtime,
+                    }
+                )
+                extents.append(entry.data)
+                offset += len(entry.data)
+        header = {
+            "version": FORMAT_VERSION,
+            "image_id": self.image_id,
+            "kind": self.kind,
+            "label": fs.label,
+            "capacity": fs.capacity,
+            "logical_size": self.logical_size,
+            "entries": entries,
+        }
+        head = json.dumps(header, sort_keys=True).encode()
+        return (
+            VOLUME_MAGIC
+            + len(head).to_bytes(_HEADER_LEN_BYTES, "big")
+            + head
+            + b"".join(extents)
+        )
+
+    @classmethod
+    def deserialize(cls, blob: bytes) -> "DiscImage":
+        """Rebuild an image (and its fs) from serialized bytes."""
+        if blob[: len(VOLUME_MAGIC)] != VOLUME_MAGIC:
+            raise MediaError("not a ROS-UDF volume (bad magic)")
+        cursor = len(VOLUME_MAGIC)
+        head_len = int.from_bytes(
+            blob[cursor : cursor + _HEADER_LEN_BYTES], "big"
+        )
+        cursor += _HEADER_LEN_BYTES
+        header = json.loads(blob[cursor : cursor + head_len])
+        cursor += head_len
+        if header.get("version") != FORMAT_VERSION:
+            raise MediaError(
+                f"unsupported volume format {header.get('version')}"
+            )
+        kind = header["kind"]
+        if kind == PARITY:
+            raw = blob[cursor : cursor + header["payload_length"]]
+            return cls(
+                header["image_id"],
+                kind=PARITY,
+                raw=raw,
+                logical_size=header["logical_size"],
+            )
+        fs = UDFFileSystem(header["capacity"], label=header["label"])
+        data_base = cursor
+        for entry in header["entries"]:
+            if entry["type"] == "dir":
+                fs.makedirs(entry["path"], mtime=entry["mtime"])
+            else:
+                start = data_base + entry["offset"]
+                payload = blob[start : start + entry["length"]]
+                fs.write_file(
+                    entry["path"],
+                    payload,
+                    logical_size=entry["size"],
+                    mtime=entry["mtime"],
+                )
+        fs.close()
+        return cls(
+            header["image_id"],
+            kind=kind,
+            filesystem=fs,
+            logical_size=header["logical_size"],
+        )
+
+    @staticmethod
+    def peek_header(blob: bytes) -> dict:
+        """Read just the JSON header (recovery scans discs cheaply)."""
+        if blob[: len(VOLUME_MAGIC)] != VOLUME_MAGIC:
+            raise MediaError("not a ROS-UDF volume (bad magic)")
+        cursor = len(VOLUME_MAGIC)
+        head_len = int.from_bytes(
+            blob[cursor : cursor + _HEADER_LEN_BYTES], "big"
+        )
+        cursor += _HEADER_LEN_BYTES
+        return json.loads(blob[cursor : cursor + head_len])
+
+    def __repr__(self) -> str:
+        return f"<DiscImage {self.image_id} {self.kind} {self.logical_size}B>"

@@ -1,0 +1,60 @@
+"""Shared unit constants and conversions.
+
+Optical-media sizes follow the industry convention of decimal units
+(a "25 GB" Blu-ray holds 25 * 10^9 bytes); RAM-ish quantities use binary
+units where noted.  All times are seconds, all rates bytes/second.
+"""
+
+from __future__ import annotations
+
+# Decimal (SI) units — used for media and network rates.
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+TB = 1_000_000_000_000
+PB = 1_000_000_000_000_000
+
+# Binary units — used for filesystem block math.
+KIB = 1 << 10
+MIB = 1 << 20
+GIB = 1 << 30
+
+#: Base ("1X") Blu-ray transfer rate, bytes/second (4.49 MB/s, §2.1).
+BLU_RAY_1X = 4.49 * MB
+
+SECOND = 1.0
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 24 * HOUR
+YEAR = 365.25 * DAY
+
+
+def bd_speed(multiple: float) -> float:
+    """Blu-ray speed multiple -> bytes/second (e.g. ``bd_speed(12)`` = 12X)."""
+    return multiple * BLU_RAY_1X
+
+
+def as_mb_per_s(rate_bytes_per_s: float) -> float:
+    """Bytes/second -> MB/s (decimal), for reporting."""
+    return rate_bytes_per_s / MB
+
+
+def fmt_bytes(n: float) -> str:
+    """Human-readable decimal byte count for reports."""
+    for unit, scale in (("PB", PB), ("TB", TB), ("GB", GB), ("MB", MB), ("KB", KB)):
+        if abs(n) >= scale:
+            return f"{n / scale:.2f} {unit}"
+    return f"{n:.0f} B"
+
+
+def fmt_seconds(t: float) -> str:
+    """Human-readable duration for reports."""
+    if t < 1e-3:
+        return f"{t * 1e6:.0f} us"
+    if t < 1.0:
+        return f"{t * 1e3:.1f} ms"
+    if t < 120.0:
+        return f"{t:.1f} s"
+    if t < 2 * HOUR:
+        return f"{t / MINUTE:.1f} min"
+    return f"{t / HOUR:.2f} h"

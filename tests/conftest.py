@@ -1,0 +1,47 @@
+"""Shared fixtures: scaled-down OLFS instances that run the full data path."""
+
+import pytest
+
+from repro import ROS, OLFSConfig, units
+
+
+def make_ros(
+    data_discs=3,
+    parity_discs=1,
+    bucket_capacity=64 * 1024,
+    roller_count=1,
+    busy_drive_policy="wait",
+    forepart_enabled=True,
+    io_policy="partitioned",
+    read_cache_images=2,
+    open_buckets=2,
+    auto_burn=True,
+    update_in_place=True,
+    cache_granularity="image",
+    prefetch_siblings=0,
+    buffer_volume_capacity=200 * units.MB,
+):
+    """A small ROS rack: tiny buckets so burns complete in simulated minutes."""
+    config = OLFSConfig(
+        data_discs_per_array=data_discs,
+        parity_discs_per_array=parity_discs,
+        open_buckets=open_buckets,
+        read_cache_images=read_cache_images,
+        busy_drive_policy=busy_drive_policy,
+        forepart_enabled=forepart_enabled,
+        auto_burn=auto_burn,
+        update_in_place=update_in_place,
+        cache_granularity=cache_granularity,
+        prefetch_siblings=prefetch_siblings,
+    ).scaled_for_tests(bucket_capacity=bucket_capacity)
+    return ROS(
+        config=config,
+        roller_count=roller_count,
+        buffer_volume_capacity=buffer_volume_capacity,
+        io_policy=io_policy,
+    )
+
+
+@pytest.fixture
+def ros():
+    return make_ros()

@@ -1,0 +1,74 @@
+"""Tests for the operator CLI (`python -m repro`)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    output = capsys.readouterr().out
+    return code, output
+
+
+def test_mechanics_command(capsys):
+    code, output = run_cli(capsys, "mechanics", "--layers", "0", "84")
+    assert code == 0
+    assert "68.7" in output
+    assert "86.5" in output
+
+
+def test_burncurve_25(capsys):
+    code, output = run_cli(capsys, "burncurve", "--disc", "25")
+    assert code == 0
+    assert "average 8.2" in output
+
+
+def test_burncurve_100(capsys):
+    code, output = run_cli(capsys, "burncurve", "--disc", "100")
+    assert code == 0
+    assert "5.91X" in output
+
+
+def test_stacks_command(capsys):
+    code, output = run_cli(capsys, "stacks")
+    assert code == 0
+    assert "samba+OLFS" in output
+    assert "235.7" in output
+
+
+def test_tco_command(capsys):
+    code, output = run_cli(capsys, "tco")
+    assert code == 0
+    assert "optical" in output
+    assert "hdd" in output
+
+
+def test_reliability_command(capsys):
+    code, output = run_cli(capsys, "reliability")
+    assert code == 0
+    assert "11+1" in output
+    assert "2.30 TB" in output
+
+
+def test_power_command(capsys):
+    code, output = run_cli(capsys, "power")
+    assert code == 0
+    assert "185 W" in output
+    assert "652 W" in output
+
+
+def test_demo_command(capsys):
+    code, output = run_cli(capsys, "demo")
+    assert code == 0
+    assert "cold read via" in output
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["frobnicate"])
+
+
+def test_command_required():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

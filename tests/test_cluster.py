@@ -1,0 +1,137 @@
+"""Tests for the multi-rack cluster federation (§2.3 extension)."""
+
+import pytest
+
+from repro import units
+from repro.cluster import RackCluster, RackDownError
+from repro.errors import FileNotFoundOLFSError
+from repro.olfs.config import OLFSConfig
+
+
+def make_cluster(rack_count=2, replicas=0):
+    config = OLFSConfig(
+        data_discs_per_array=3, parity_discs_per_array=1
+    ).scaled_for_tests(bucket_capacity=64 * 1024)
+    return RackCluster(
+        rack_count=rack_count,
+        replicas=replicas,
+        config=config,
+        roller_count=1,
+        buffer_volume_capacity=200 * units.MB,
+    )
+
+
+def test_cluster_basic_write_read():
+    cluster = make_cluster()
+    cluster.write("/data/a.bin", b"alpha")
+    assert cluster.read("/data/a.bin").data == b"alpha"
+
+
+def test_cluster_placement_deterministic():
+    cluster = make_cluster(rack_count=4)
+    first = cluster.placement("/some/path")
+    assert first == cluster.placement("/some/path")
+
+
+def test_cluster_spreads_paths_across_racks():
+    cluster = make_cluster(rack_count=4)
+    homes = {cluster.home_rack(f"/p/file-{i}") for i in range(40)}
+    assert len(homes) >= 3  # rendezvous hashing spreads the load
+
+
+def test_cluster_file_lands_on_home_rack_only():
+    cluster = make_cluster(rack_count=2, replicas=0)
+    cluster.write("/solo/file", b"x")
+    home = cluster.home_rack("/solo/file")
+    other = 1 - home
+    assert cluster.racks[home].read("/solo/file").data == b"x"
+    with pytest.raises(FileNotFoundOLFSError):
+        cluster.racks[other].read("/solo/file")
+
+
+def test_cluster_replication_copies_to_second_rack():
+    cluster = make_cluster(rack_count=3, replicas=1)
+    cluster.write("/rep/file", b"copy-me")
+    holders = cluster.placement("/rep/file")
+    assert len(holders) == 2
+    for index in holders:
+        assert cluster.racks[index].read("/rep/file").data == b"copy-me"
+
+
+def test_cluster_failover_read_from_replica():
+    cluster = make_cluster(rack_count=3, replicas=1)
+    cluster.write("/ha/file", b"survive")
+    home = cluster.home_rack("/ha/file")
+    cluster.fail_rack(home)
+    assert cluster.read("/ha/file").data == b"survive"
+
+
+def test_cluster_no_replica_no_failover():
+    cluster = make_cluster(rack_count=2, replicas=0)
+    cluster.write("/fragile/file", b"gone")
+    cluster.fail_rack(cluster.home_rack("/fragile/file"))
+    with pytest.raises(RackDownError):
+        cluster.read("/fragile/file")
+
+
+def test_cluster_restore_rack():
+    cluster = make_cluster(rack_count=2)
+    cluster.write("/back/file", b"again")
+    home = cluster.home_rack("/back/file")
+    cluster.fail_rack(home)
+    cluster.restore_rack(home)
+    assert cluster.read("/back/file").data == b"again"
+
+
+def test_cluster_readdir_merges_racks():
+    cluster = make_cluster(rack_count=3)
+    names = [f"f{i:02d}" for i in range(12)]
+    for name in names:
+        cluster.write(f"/merged/{name}", name.encode())
+    assert cluster.readdir("/merged") == sorted(names)
+
+
+def test_cluster_unlink_removes_all_copies():
+    cluster = make_cluster(rack_count=3, replicas=1)
+    cluster.write("/del/file", b"x")
+    cluster.unlink("/del/file")
+    with pytest.raises(FileNotFoundOLFSError):
+        cluster.read("/del/file")
+    for rack in cluster.racks:
+        with pytest.raises(FileNotFoundOLFSError):
+            rack.read("/del/file")
+
+
+def test_cluster_flush_and_status_aggregate():
+    cluster = make_cluster(rack_count=2)
+    for index in range(16):
+        cluster.write(f"/bulk/f{index:02d}.bin", bytes([index]) * 20000)
+    cluster.flush()
+    status = cluster.status()
+    assert status["discs_total"] == 2 * 6120
+    assert status["arrays_used"] >= 1
+    assert status["down"] == []
+
+
+def test_cluster_shares_one_clock():
+    cluster = make_cluster(rack_count=2)
+    cluster.write("/t/a", b"1")
+    cluster.write("/t/b", b"2")
+    # Both racks observe the same engine time.
+    assert cluster.racks[0].now == cluster.racks[1].now
+
+
+def test_cluster_replicas_must_fit():
+    with pytest.raises(ValueError):
+        make_cluster(rack_count=2, replicas=2)
+
+
+def test_cluster_survives_rack_loss_with_burned_data():
+    cluster = make_cluster(rack_count=3, replicas=1)
+    payload = b"durable" * 2000
+    cluster.write("/gold/asset.bin", payload)
+    cluster.flush()
+    home = cluster.home_rack("/gold/asset.bin")
+    cluster.fail_rack(home)
+    result = cluster.read("/gold/asset.bin")
+    assert result.data == payload

@@ -1,0 +1,48 @@
+"""Smoke tests: every example script must run to completion.
+
+Each example's ``main()`` is executed in-process with stdout captured;
+assertions inside the examples double as end-to-end checks.
+"""
+
+import importlib
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = [
+    "quickstart",
+    "datacenter_archive",
+    "media_asset_workflow",
+    "disaster_recovery",
+    "tco_and_reliability",
+    "interfaces_tour",
+    "cluster_failover",
+]
+
+
+@pytest.fixture(autouse=True)
+def _examples_on_path():
+    sys.path.insert(0, str(EXAMPLES_DIR))
+    yield
+    sys.path.remove(str(EXAMPLES_DIR))
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    module = importlib.import_module(name)
+    module.main()
+    output = capsys.readouterr().out
+    assert output.strip(), f"{name} produced no output"
+    assert "Traceback" not in output
+
+
+def test_every_example_file_is_covered():
+    on_disk = {
+        path.stem
+        for path in EXAMPLES_DIR.glob("*.py")
+        if not path.stem.startswith("_")
+    }
+    assert on_disk == set(EXAMPLES)

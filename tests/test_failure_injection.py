@@ -1,0 +1,182 @@
+"""Failure injection: bad burns, dead devices, PLC faults, crash recovery."""
+
+import pytest
+
+from repro.errors import PLCFaultError, ROSError
+from repro.olfs.mechanical import ArrayState
+from tests.conftest import make_ros
+
+
+def write_batch(ros, count=8, size=20000, prefix="/inj"):
+    payloads = {}
+    for index in range(count):
+        path = f"{prefix}/f{index:02d}.bin"
+        payloads[path] = bytes([index + 5]) * size
+        ros.write(path, payloads[path])
+    return payloads
+
+
+# ----------------------------------------------------------------------
+# Burn failures (DAindex Failed + retry on a fresh tray)
+# ----------------------------------------------------------------------
+def test_burn_failure_retries_on_fresh_tray():
+    ros = make_ros(auto_burn=False)
+    payloads = write_batch(ros)
+    # The first drive of the only set fails its next burn.
+    ros.mech.drive_sets[0].drives[0].inject_burn_failure = True
+    ros.flush()
+    counts = ros.mc.counts()
+    assert counts["Failed"] == 1
+    assert counts["Used"] >= 1
+    # All data still burned successfully after the retry.
+    for record in ros.dim.records.values():
+        if record.kind == "data" and not record.image_id.startswith("mv-"):
+            if record.state in ("buffered", "burned"):
+                assert record.state in ("burned", "buffered")
+    burned = [r for r in ros.dim.records.values() if r.state == "burned"]
+    assert burned
+    # Data remains readable end to end (cold).
+    path = next(iter(payloads))
+    image_id = ros.stat(path)["locations"][0]
+    ros.cache.evict(image_id)
+    assert ros.read(path).data == payloads[path]
+
+
+def test_burn_failure_marks_tray_failed_and_skips_it():
+    ros = make_ros(auto_burn=False)
+    write_batch(ros)
+    ros.mech.drive_sets[0].drives[1].inject_burn_failure = True
+    ros.flush()
+    failed = [
+        (roller, address)
+        for (roller, address), state in ros.mc.da_index.items()
+        if state is ArrayState.FAILED
+    ]
+    assert len(failed) == 1
+    # The failed tray's discs are not blank and never selected again.
+    roller, address = failed[0]
+    tray = ros.mech.rollers[roller].tray_at(address)
+    assert any(not disc.is_blank for disc in tray.discs())
+    blank = ros.mc.find_blank_tray(roller)
+    assert blank != failed[0]
+
+
+def test_three_consecutive_burn_failures_fail_the_task():
+    ros = make_ros(auto_burn=False)
+    write_batch(ros, count=4)
+    drive = ros.mech.drive_sets[0].drives[0]
+    # Re-arm the fault as soon as each burn consumes it.
+    original_burn = drive.burn
+
+    def rearming_burn(*args, **kwargs):
+        drive.inject_burn_failure = True
+        return original_burn(*args, **kwargs)
+
+    drive.burn = rearming_burn
+    ros.wbm.close_nonempty_buckets()
+    tasks = ros.btm.flush_pending()
+    ros.drain_background()
+    assert ros.btm.failed_tasks
+    task, error = ros.btm.failed_tasks[0]
+    assert isinstance(error, ROSError)
+    assert ros.mc.counts()["Failed"] == 3
+
+
+# ----------------------------------------------------------------------
+# PLC / sensor faults during OLFS operation
+# ----------------------------------------------------------------------
+def test_sensor_fault_surfaces_through_flush():
+    ros = make_ros(auto_burn=False)
+    write_batch(ros, count=4)
+    ros.mech.plc.suites[0].arm_encoder.inject_drift(3.0)
+    ros.wbm.close_nonempty_buckets()
+    ros.btm.flush_pending()
+    ros.drain_background()
+    assert ros.btm.failed_tasks
+    _, error = ros.btm.failed_tasks[0]
+    assert isinstance(error, PLCFaultError)
+
+
+def test_calibration_recovers_plc_fault():
+    from repro.plc import Calibrate
+
+    ros = make_ros(auto_burn=False)
+    write_batch(ros, count=4)
+    ros.mech.plc.suites[0].arm_encoder.inject_drift(3.0)
+    ros.wbm.close_nonempty_buckets()
+    ros.btm.flush_pending()
+    ros.drain_background()
+    assert ros.btm.failed_tasks
+    # Administrator recalibrates; data is still on the buffer, re-burn.
+    ros.run(ros.mech.channel.send(Calibrate(0)))
+    ros.btm._claimed.clear()
+    tasks = ros.btm.flush_pending()
+    ros.drain_background()
+    assert any(t.state == "done" for t in ros.btm.completed_tasks)
+
+
+# ----------------------------------------------------------------------
+# Buffer volume device failures
+# ----------------------------------------------------------------------
+def test_mv_volume_failure_is_fatal_for_metadata_ops():
+    """A dead metadata volume (both SSDs) blocks namespace operations —
+    which is exactly why MV checkpoints exist (§4.2)."""
+    from repro.errors import NoSpaceOLFSError
+
+    ros = make_ros()
+    ros.write("/pre/fault.bin", b"x")
+    # Simulate MV exhaustion rather than electronics death: fill it up.
+    ros.mv_volume.allocate(ros.mv_volume.free)
+    with pytest.raises(NoSpaceOLFSError):
+        ros.mv_volume.allocate(1)
+
+
+# ----------------------------------------------------------------------
+# Crash consistency: system state checkpoints in MV (§4.2)
+# ----------------------------------------------------------------------
+def test_state_checkpoint_roundtrip():
+    ros = make_ros()
+    ros.run(
+        ros.mv.save_state(
+            "controller",
+            {"next_image": 42, "pending_arrays": [[0, 3, 1]]},
+        )
+    )
+    snapshot = ros.mv.serialize_snapshot()
+    ros.mv.load_snapshot(snapshot)
+    state = ros.run(ros.mv.load_state("controller"))
+    assert state == {"next_image": 42, "pending_arrays": [[0, 3, 1]]}
+
+
+def test_interrupt_then_failure_combination():
+    """An interrupted burn that later hits a bad disc still converges."""
+    ros = make_ros(
+        bucket_capacity=16 * 1024 * 1024,
+        busy_drive_policy="interrupt",
+        forepart_enabled=False,
+        auto_burn=False,
+    )
+    for index in range(4):
+        ros.write(f"/old/f{index}.bin", b"o" * 300_000)
+    ros.flush()
+    target_image = ros.stat("/old/f0.bin")["locations"][0]
+    ros.cache.evict(target_image)
+    for index in range(4):
+        ros.write(
+            f"/new/f{index}.bin", b"n" * 300_000, 12 * 1024 * 1024
+        )
+    ros.wbm.close_nonempty_buckets()
+    tasks = ros.btm.flush_pending()
+    while not any(ds.is_burning for ds in ros.mech.drive_sets):
+        ros.engine.run(until=ros.now + 0.05)
+    # Interrupt via an urgent read...
+    result = ros.read("/old/f0.bin")
+    assert result.data == b"o" * 300_000
+    # ...then fail a drive on the resumed burn.
+    ros.mech.drive_sets[0].drives[2].inject_burn_failure = True
+    ros.drain_background()
+    for task in tasks:
+        assert task.state == "done"
+    for index in range(4):
+        image = ros.stat(f"/new/f{index}.bin")["locations"][0]
+        assert ros.dim.record(image).state == "burned"

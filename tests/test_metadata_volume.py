@@ -1,0 +1,142 @@
+"""Direct tests for the Metadata Volume (§4.2)."""
+
+import pytest
+
+from repro import units
+from repro.errors import (
+    FileExistsOLFSError,
+    FileNotFoundOLFSError,
+    NotADirectoryOLFSError,
+)
+from repro.olfs.index import IndexFile, VersionEntry
+from repro.olfs.metadata import MV_BLOCK_SIZE, MV_INODE_SIZE, MetadataVolume
+from repro.sim import Engine
+from repro.storage.volume import Volume
+
+
+@pytest.fixture
+def mv():
+    engine = Engine()
+    volume = Volume(
+        engine,
+        "mv",
+        read_throughput=900 * units.MB,
+        write_throughput=450 * units.MB,
+        capacity=units.GB,
+        access_latency=0.0001,
+    )
+    return engine, MetadataVolume(engine, volume)
+
+
+def make_index(path, image="img-1"):
+    index = IndexFile(path)
+    index.add_version(
+        VersionEntry(version=1, size=10, mtime=0.0, locations=[image])
+    )
+    return index
+
+
+def test_write_and_lookup(mv):
+    engine, volume = mv
+    engine.run_process(volume.write_index("/a/b/file", make_index("/a/b/file")))
+    index = engine.run_process(volume.lookup_index("/a/b/file"))
+    assert index.current.locations == ["img-1"]
+
+
+def test_lookup_missing_raises(mv):
+    engine, volume = mv
+    with pytest.raises(FileNotFoundOLFSError):
+        engine.run_process(volume.lookup_index("/nope"))
+
+
+def test_ancestor_directories_created(mv):
+    engine, volume = mv
+    engine.run_process(volume.write_index("/x/y/z/f", make_index("/x/y/z/f")))
+    assert engine.run_process(volume.is_dir("/x/y"))
+    assert engine.run_process(volume.listdir("/x/y")) == ["z"]
+
+
+def test_index_cannot_shadow_directory(mv):
+    engine, volume = mv
+    engine.run_process(volume.write_index("/d/f", make_index("/d/f")))
+    with pytest.raises(FileExistsOLFSError):
+        engine.run_process(volume.write_index("/d", make_index("/d")))
+
+
+def test_listdir_of_index_rejected(mv):
+    engine, volume = mv
+    engine.run_process(volume.write_index("/f", make_index("/f")))
+    with pytest.raises(NotADirectoryOLFSError):
+        engine.run_process(volume.listdir("/f"))
+
+
+def test_remove_index(mv):
+    engine, volume = mv
+    engine.run_process(volume.write_index("/f", make_index("/f")))
+    engine.run_process(volume.remove_index("/f"))
+    assert not engine.run_process(volume.exists("/f"))
+    with pytest.raises(FileNotFoundOLFSError):
+        engine.run_process(volume.remove_index("/f"))
+
+
+def test_entry_kind(mv):
+    engine, volume = mv
+    engine.run_process(volume.write_index("/dir/f", make_index("/dir/f")))
+    assert engine.run_process(volume.entry_kind("/dir")) == "dir"
+    assert engine.run_process(volume.entry_kind("/dir/f")) == "file"
+    assert engine.run_process(volume.entry_kind("/missing")) is None
+
+
+def test_operations_are_timed(mv):
+    engine, volume = mv
+    start = engine.now
+    engine.run_process(volume.write_index("/f", make_index("/f")))
+    assert engine.now > start
+    assert volume.updates == 1
+    engine.run_process(volume.lookup_index("/f"))
+    assert volume.lookups >= 1
+
+
+def test_used_bytes_accounting(mv):
+    engine, volume = mv
+    empty = volume.used_bytes()
+    engine.run_process(volume.write_index("/a/f1", make_index("/a/f1")))
+    one = volume.used_bytes()
+    # one new dir + one index file
+    assert one - empty == 2 * MV_INODE_SIZE + 2 * MV_BLOCK_SIZE
+    engine.run_process(volume.write_index("/a/f2", make_index("/a/f2")))
+    two = volume.used_bytes()
+    assert two - one == MV_INODE_SIZE + MV_BLOCK_SIZE
+
+
+def test_snapshot_roundtrip_preserves_everything(mv):
+    engine, volume = mv
+    engine.run_process(volume.write_index("/p/q/f", make_index("/p/q/f")))
+    engine.run_process(volume.make_dir("/empty"))
+    engine.run_process(volume.save_state("ctrl", {"epoch": 3}))
+    snapshot = volume.serialize_snapshot()
+
+    engine2 = Engine()
+    target = MetadataVolume(
+        engine2,
+        Volume(
+            engine2,
+            "mv2",
+            read_throughput=1e9,
+            write_throughput=1e9,
+            capacity=units.GB,
+            access_latency=0.0,
+        ),
+    )
+    target.load_snapshot(snapshot)
+    assert target.all_index_paths() == ["/p/q/f"]
+    assert target.peek_index("/p/q/f").current.locations == ["img-1"]
+    assert engine2.run_process(target.is_dir("/empty"))
+    assert engine2.run_process(target.load_state("ctrl")) == {"epoch": 3}
+
+
+def test_all_index_paths_sorted_depth_first(mv):
+    engine, volume = mv
+    for path in ("/b/2", "/a/1", "/a/0", "/c"):
+        engine.run_process(volume.write_index(path, make_index(path)))
+    assert volume.all_index_paths() == ["/a/0", "/a/1", "/b/2", "/c"]

@@ -1,0 +1,116 @@
+"""Model-based testing: OLFS against a reference in-memory filesystem.
+
+Hypothesis drives random operation sequences (write, update, read, delete,
+mkdir, flush, cache-evict) against a scaled ROS instance and an oracle
+dict; after every step the observable namespace must agree, and at the
+end every surviving file must read back byte-identical — whatever mix of
+buckets, buffered images and burned discs the data ended up on.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.errors import FileNotFoundOLFSError
+from tests.conftest import make_ros
+
+NAMES = ["alpha", "beta", "gamma", "delta"]
+DIRS = ["/m", "/m/sub", "/other"]
+
+
+class OLFSModel(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.ros = make_ros(
+            bucket_capacity=48 * 1024, update_in_place=False
+        )
+        self.oracle: dict[str, bytes] = {}
+
+    # ------------------------------------------------------------------
+    @rule(
+        directory=st.sampled_from(DIRS),
+        name=st.sampled_from(NAMES),
+        payload=st.binary(min_size=0, max_size=6000),
+    )
+    def write(self, directory, name, payload):
+        path = f"{directory}/{name}"
+        self.ros.write(path, payload)
+        self.oracle[path] = payload
+
+    @rule(name=st.sampled_from(NAMES))
+    def read_existing(self, name):
+        for directory in DIRS:
+            path = f"{directory}/{name}"
+            if path in self.oracle:
+                result = self.ros.read(path)
+                assert result.data == self.oracle[path], path
+                return
+
+    @rule()
+    def read_missing_raises(self):
+        with pytest.raises(FileNotFoundOLFSError):
+            self.ros.read("/never/written")
+
+    @rule(name=st.sampled_from(NAMES))
+    def delete(self, name):
+        for directory in DIRS:
+            path = f"{directory}/{name}"
+            if path in self.oracle:
+                self.ros.unlink(path)
+                del self.oracle[path]
+                return
+
+    @rule()
+    def flush_to_discs(self):
+        self.ros.flush()
+
+    @rule()
+    def evict_caches(self):
+        for image_id in list(self.ros.cache.cached_ids):
+            self.ros.cache.evict(image_id)
+
+    # ------------------------------------------------------------------
+    @invariant()
+    def namespace_agrees(self):
+        for path, payload in self.oracle.items():
+            info = self.ros.stat(path)
+            assert info["size"] == len(payload), path
+
+    def teardown(self):
+        # Final full verification: every oracle file reads back exactly.
+        for path, payload in self.oracle.items():
+            assert self.ros.read(path).data == payload, path
+
+
+OLFSModelTest = OLFSModel.TestCase
+OLFSModelTest.settings = settings(
+    max_examples=12,
+    stateful_step_count=14,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def test_long_mixed_sequence_deterministic():
+    """The same operation sequence produces bit-identical clocks."""
+
+    def run():
+        ros = make_ros()
+        for index in range(20):
+            ros.write(f"/det/f{index % 5}.bin", bytes([index]) * 5000)
+        ros.flush()
+        reads = []
+        for index in range(5):
+            reads.append(ros.read(f"/det/f{index}.bin").total_seconds)
+        return ros.now, reads
+
+    first = run()
+    second = run()
+    assert first == second

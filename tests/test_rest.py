@@ -1,0 +1,91 @@
+"""Tests for the REST gateway (§4.2)."""
+
+import pytest
+
+from repro.interfaces import RestGateway
+from tests.conftest import make_ros
+
+
+@pytest.fixture
+def api():
+    return RestGateway(make_ros())
+
+
+def test_create_bucket_and_list(api):
+    assert api.request("PUT", "/v1/photos").status == 201
+    response = api.request("GET", "/v1")
+    assert response.ok
+    assert b"photos" in response.body
+
+
+def test_put_get_object(api):
+    api.request("PUT", "/v1/b")
+    put = api.request("PUT", "/v1/b/2026/raw.bin", body=b"IMAGE-BYTES")
+    assert put.status == 201
+    get = api.request("GET", "/v1/b/2026/raw.bin")
+    assert get.ok
+    assert get.body == b"IMAGE-BYTES"
+    assert get.headers["content-length"] == "11"
+
+
+def test_metadata_headers_roundtrip(api):
+    api.request("PUT", "/v1/b")
+    api.request(
+        "PUT",
+        "/v1/b/doc",
+        body=b"x",
+        headers={"x-ros-meta-owner": "amy", "content-type": "ignored"},
+    )
+    head = api.request("HEAD", "/v1/b/doc")
+    assert head.ok
+    assert head.headers["x-ros-meta-owner"] == "amy"
+    assert head.body == b""
+
+
+def test_delete_object(api):
+    api.request("PUT", "/v1/b")
+    api.request("PUT", "/v1/b/tmp", body=b"x")
+    assert api.request("DELETE", "/v1/b/tmp").status == 204
+    assert api.request("GET", "/v1/b/tmp").status == 404
+
+
+def test_listing_with_prefix(api):
+    api.request("PUT", "/v1/logs")
+    for key in ("2025/a", "2025/b", "2026/c"):
+        api.request("PUT", f"/v1/logs/{key}", body=b".")
+    response = api.request("GET", "/v1/logs", query={"prefix": "2025/"})
+    assert response.body.decode().splitlines() == ["2025/a", "2025/b"]
+    grouped = api.request("GET", "/v1/logs", query={"delimiter": "/"})
+    assert "2025/" in grouped.headers["x-common-prefixes"]
+
+
+def test_missing_bucket_404(api):
+    assert api.request("GET", "/v1/nope/key").status == 404
+
+
+def test_unknown_version_404(api):
+    assert api.request("GET", "/v2/b/key").status == 404
+
+
+def test_bad_method_405(api):
+    api.request("PUT", "/v1/b")
+    assert api.request("PATCH", "/v1/b/obj", body=b"x").status == 405
+    assert api.request("DELETE", "/v1").status == 405
+
+
+def test_trailing_slash_normalized(api):
+    api.request("PUT", "/v1/b")
+    assert api.request("PUT", "/v1/b/trailing/", body=b"x").status == 201
+    assert api.request("GET", "/v1/b/trailing").body == b"x"
+
+
+def test_objects_survive_burn(api):
+    ros = api.store.ros
+    api.request("PUT", "/v1/vault")
+    api.request("PUT", "/v1/vault/asset", body=b"P" * 30000)
+    ros.flush()
+    for image_id in list(ros.cache.cached_ids):
+        ros.cache.evict(image_id)
+    response = api.request("GET", "/v1/vault/asset")
+    assert response.ok
+    assert response.body == b"P" * 30000

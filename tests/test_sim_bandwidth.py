@@ -1,0 +1,214 @@
+"""Unit and property tests for the processor-sharing bandwidth model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import AllOf, Delay, Engine, SharedBandwidth, Spawn
+
+
+def make(capacity=100.0):
+    engine = Engine()
+    return engine, SharedBandwidth(engine, capacity, name="disk")
+
+
+def test_single_flow_takes_size_over_capacity():
+    engine, bw = make(capacity=100.0)
+
+    def proc():
+        yield from bw.transfer(500.0)
+        return engine.now
+
+    assert engine.run_process(proc()) == pytest.approx(5.0)
+
+
+def test_zero_byte_transfer_is_instant():
+    engine, bw = make()
+
+    def proc():
+        yield from bw.transfer(0)
+        return engine.now
+
+    assert engine.run_process(proc()) == 0.0
+
+
+def test_two_equal_flows_halve_throughput():
+    engine, bw = make(capacity=100.0)
+    ends = []
+
+    def flow():
+        yield from bw.transfer(100.0)
+        ends.append(engine.now)
+
+    def main():
+        procs = []
+        for _ in range(2):
+            procs.append((yield Spawn(flow())))
+        yield AllOf(procs)
+
+    engine.run_process(main())
+    # Both flows share 100 B/s, so 100 B each takes 2 s.
+    assert ends == [pytest.approx(2.0)] * 2
+
+
+def test_staggered_flows_fluid_sharing():
+    engine, bw = make(capacity=100.0)
+    ends = {}
+
+    def flow(label, size):
+        yield from bw.transfer(size)
+        ends[label] = engine.now
+
+    def late(label, size, start):
+        yield Delay(start)
+        yield from bw.transfer(size)
+        ends[label] = engine.now
+
+    def main():
+        a = yield Spawn(flow("a", 300.0))
+        b = yield Spawn(late("b", 100.0, start=1.0))
+        yield AllOf([a, b])
+
+    engine.run_process(main())
+    # Flow a runs alone for 1 s (100 B done, 200 left).  Then both share:
+    # 50 B/s each.  b finishes 100 B at t=3.0; a then has 100 B left at
+    # full rate, finishing at 4.0.
+    assert ends["b"] == pytest.approx(3.0)
+    assert ends["a"] == pytest.approx(4.0)
+
+
+def test_weighted_flows():
+    engine, bw = make(capacity=90.0)
+    ends = {}
+
+    def flow(label, size, weight):
+        yield from bw.transfer(size, weight=weight)
+        ends[label] = engine.now
+
+    def main():
+        a = yield Spawn(flow("heavy", 120.0, 2.0))
+        b = yield Spawn(flow("light", 60.0, 1.0))
+        yield AllOf([a, b])
+
+    engine.run_process(main())
+    # heavy gets 60 B/s, light 30 B/s -> both end at t=2.0
+    assert ends["heavy"] == pytest.approx(2.0)
+    assert ends["light"] == pytest.approx(2.0)
+
+
+def test_bytes_moved_accounting():
+    engine, bw = make(capacity=10.0)
+
+    def proc():
+        yield from bw.transfer(25.0)
+
+    engine.run_process(proc())
+    assert bw.bytes_moved == pytest.approx(25.0)
+
+
+def test_current_rate_reflects_active_flows():
+    engine, bw = make(capacity=100.0)
+    observed = []
+
+    def flow():
+        yield from bw.transfer(1000.0)
+
+    def probe():
+        yield Delay(1.0)
+        observed.append(bw.current_rate())
+
+    def main():
+        yield Spawn(flow())
+        yield Spawn(flow())
+        probe_proc = yield Spawn(probe())
+        yield probe_proc and Delay(0) or Delay(0)
+        yield Delay(2)
+
+    engine.run_process(main())
+    engine.run()
+    # Two active flows of weight 1 each; a third flow would get 100/3.
+    assert observed[0] == pytest.approx(100.0 / 3.0)
+
+
+def test_negative_size_rejected():
+    engine, bw = make()
+
+    def proc():
+        yield from bw.transfer(-5)
+
+    with pytest.raises(ValueError):
+        engine.run_process(proc())
+
+
+def test_invalid_weight_rejected():
+    engine, bw = make()
+
+    def proc():
+        yield from bw.transfer(10, weight=0)
+
+    with pytest.raises(ValueError):
+        engine.run_process(proc())
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    sizes=st.lists(
+        st.floats(min_value=1.0, max_value=1e6), min_size=1, max_size=8
+    ),
+    capacity=st.floats(min_value=1.0, max_value=1e6),
+)
+def test_property_total_time_conserves_work(sizes, capacity):
+    """With simultaneous flows, the last completion time equals total
+    work / capacity: processor sharing conserves total service."""
+    engine = Engine()
+    bw = SharedBandwidth(engine, capacity)
+
+    def flow(size):
+        yield from bw.transfer(size)
+
+    def main():
+        procs = []
+        for s in sizes:
+            procs.append((yield Spawn(flow(s))))
+        yield AllOf(procs)
+        return engine.now
+
+    end = engine.run_process(main())
+    # The completion threshold may finish a flow up to capacity*1e-9
+    # bytes (i.e. 1 ns) early, hence the absolute floor.
+    assert end == pytest.approx(sum(sizes) / capacity, rel=1e-6, abs=1e-7)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    starts=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=100.0),
+            st.floats(min_value=1.0, max_value=1e4),
+        ),
+        min_size=1,
+        max_size=6,
+    )
+)
+def test_property_completion_never_before_ideal(starts):
+    """No flow can finish faster than running alone at full capacity."""
+    capacity = 50.0
+    engine = Engine()
+    bw = SharedBandwidth(engine, capacity)
+    results = []
+
+    def flow(start, size):
+        yield Delay(start)
+        begin = engine.now
+        yield from bw.transfer(size)
+        results.append((size, engine.now - begin))
+
+    def main():
+        procs = []
+        for (s, n) in starts:
+            procs.append((yield Spawn(flow(s, n))))
+        yield AllOf(procs)
+
+    engine.run_process(main())
+    for size, elapsed in results:
+        assert elapsed >= size / capacity - 1e-6

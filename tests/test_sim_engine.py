@@ -1,0 +1,413 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import (
+    Acquire,
+    AllOf,
+    Delay,
+    Engine,
+    Interrupt,
+    Join,
+    Resource,
+    Spawn,
+    Wait,
+)
+from repro.sim.engine import SimulationError
+
+
+def test_clock_starts_at_zero():
+    assert Engine().now == 0.0
+
+
+def test_delay_advances_clock():
+    engine = Engine()
+
+    def proc():
+        yield Delay(2.5)
+        return engine.now
+
+    assert engine.run_process(proc()) == 2.5
+
+
+def test_zero_delay_runs_immediately():
+    engine = Engine()
+
+    def proc():
+        yield Delay(0)
+        return engine.now
+
+    assert engine.run_process(proc()) == 0.0
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(ValueError):
+        Delay(-1)
+
+
+def test_sequential_delays_accumulate():
+    engine = Engine()
+
+    def proc():
+        yield Delay(1.0)
+        yield Delay(2.0)
+        yield Delay(3.5)
+        return engine.now
+
+    assert engine.run_process(proc()) == pytest.approx(6.5)
+
+
+def test_process_return_value():
+    engine = Engine()
+
+    def proc():
+        yield Delay(1)
+        return "hello"
+
+    assert engine.run_process(proc()) == "hello"
+
+
+def test_spawn_runs_concurrently():
+    engine = Engine()
+    times = {}
+
+    def child(label, delay):
+        yield Delay(delay)
+        times[label] = engine.now
+
+    def parent():
+        a = yield Spawn(child("a", 3.0))
+        b = yield Spawn(child("b", 1.0))
+        yield Join(a)
+        yield Join(b)
+        return engine.now
+
+    end = engine.run_process(parent())
+    assert times == {"a": 3.0, "b": 1.0}
+    assert end == 3.0  # parent waits only until the slowest child
+
+
+def test_join_returns_child_result():
+    engine = Engine()
+
+    def child():
+        yield Delay(1)
+        return 42
+
+    def parent():
+        proc = yield Spawn(child())
+        value = yield Join(proc)
+        return value
+
+    assert engine.run_process(parent()) == 42
+
+
+def test_join_propagates_child_exception():
+    engine = Engine()
+
+    def child():
+        yield Delay(1)
+        raise ValueError("boom")
+
+    def parent():
+        proc = yield Spawn(child())
+        yield Join(proc)
+
+    with pytest.raises(ValueError, match="boom"):
+        engine.run_process(parent())
+
+
+def test_join_already_finished_process():
+    engine = Engine()
+
+    def child():
+        yield Delay(0.5)
+        return "early"
+
+    def parent():
+        proc = yield Spawn(child())
+        yield Delay(5)
+        value = yield Join(proc)
+        return value, engine.now
+
+    assert engine.run_process(parent()) == ("early", 5.0)
+
+
+def test_allof_waits_for_every_child():
+    engine = Engine()
+
+    def child(delay, value):
+        yield Delay(delay)
+        return value
+
+    def parent():
+        procs = []
+        for i in range(4):
+            procs.append((yield Spawn(child(i + 1.0, i))))
+        results = yield AllOf(procs)
+        return results, engine.now
+
+    results, end = engine.run_process(parent())
+    assert results == [0, 1, 2, 3]
+    assert end == 4.0
+
+
+def test_event_wait_and_succeed():
+    engine = Engine()
+    event = engine.event("ready")
+
+    def waiter():
+        value = yield Wait(event)
+        return value, engine.now
+
+    def firer():
+        yield Delay(2)
+        event.succeed("payload")
+
+    engine.spawn(firer())
+    assert engine.run_process(waiter()) == ("payload", 2.0)
+
+
+def test_event_succeed_before_wait():
+    engine = Engine()
+    event = engine.event()
+    event.succeed(7)
+
+    def waiter():
+        value = yield Wait(event)
+        return value
+
+    assert engine.run_process(waiter()) == 7
+
+
+def test_event_fail_raises_in_waiter():
+    engine = Engine()
+    event = engine.event()
+
+    def waiter():
+        yield Wait(event)
+
+    def firer():
+        yield Delay(1)
+        event.fail(RuntimeError("dead"))
+
+    engine.spawn(firer())
+    with pytest.raises(RuntimeError, match="dead"):
+        engine.run_process(waiter())
+
+
+def test_event_cannot_fire_twice():
+    engine = Engine()
+    event = engine.event()
+    event.succeed()
+    with pytest.raises(SimulationError):
+        event.succeed()
+
+
+def test_deadlock_detection():
+    engine = Engine()
+    event = engine.event("never")
+
+    def waiter():
+        yield Wait(event)
+
+    with pytest.raises(SimulationError, match="deadlock"):
+        engine.run_process(waiter())
+
+
+def test_run_until_advances_clock_without_events():
+    engine = Engine()
+    engine.run(until=10.0)
+    assert engine.now == 10.0
+
+
+def test_interrupt_during_delay():
+    engine = Engine()
+    log = []
+
+    def sleeper():
+        try:
+            yield Delay(100)
+        except Interrupt as interrupt:
+            log.append((engine.now, interrupt.cause))
+            return "interrupted"
+        return "finished"
+
+    def interrupter(proc):
+        yield Delay(3)
+        proc.interrupt("urgent read")
+
+    def main():
+        proc = yield Spawn(sleeper())
+        yield Spawn(interrupter(proc))
+        result = yield Join(proc)
+        return result
+
+    assert engine.run_process(main()) == "interrupted"
+    assert log == [(3.0, "urgent read")]
+
+
+def test_interrupt_during_event_wait():
+    engine = Engine()
+    event = engine.event("never")
+
+    def waiter():
+        try:
+            yield Wait(event)
+        except Interrupt:
+            return engine.now
+        return None
+
+    def main():
+        proc = yield Spawn(waiter())
+        yield Delay(2)
+        proc.interrupt()
+        return (yield Join(proc))
+
+    assert engine.run_process(main()) == 2.0
+
+
+def test_interrupt_finished_process_is_noop():
+    engine = Engine()
+
+    def child():
+        yield Delay(1)
+
+    def main():
+        proc = yield Spawn(child())
+        yield Delay(5)
+        proc.interrupt()
+        return True
+
+    assert engine.run_process(main())
+
+
+def test_yielding_garbage_fails_the_process():
+    engine = Engine()
+
+    def proc():
+        yield "not an effect"
+
+    with pytest.raises(SimulationError, match="non-effect"):
+        engine.run_process(proc())
+
+
+# ----------------------------------------------------------------------
+# Resources
+# ----------------------------------------------------------------------
+def test_resource_serializes_access():
+    engine = Engine()
+    resource = Resource(engine, capacity=1, name="arm")
+    timeline = []
+
+    def worker(label):
+        grant = yield Acquire(resource)
+        timeline.append((label, "start", engine.now))
+        yield Delay(10)
+        grant.release()
+        timeline.append((label, "end", engine.now))
+
+    def main():
+        procs = []
+        for i in range(3):
+            procs.append((yield Spawn(worker(i))))
+        yield AllOf(procs)
+
+    engine.run_process(main())
+    starts = [t for (_, kind, t) in timeline if kind == "start"]
+    assert starts == [0.0, 10.0, 20.0]
+
+
+def test_resource_capacity_allows_parallelism():
+    engine = Engine()
+    resource = Resource(engine, capacity=2)
+    ends = []
+
+    def worker():
+        grant = yield Acquire(resource)
+        yield Delay(5)
+        grant.release()
+        ends.append(engine.now)
+
+    def main():
+        procs = []
+        for _ in range(4):
+            procs.append((yield Spawn(worker())))
+        yield AllOf(procs)
+
+    engine.run_process(main())
+    assert ends == [5.0, 5.0, 10.0, 10.0]
+
+
+def test_resource_priority_order():
+    engine = Engine()
+    resource = Resource(engine, capacity=1)
+    order = []
+
+    def holder():
+        grant = yield Acquire(resource)
+        yield Delay(1)
+        grant.release()
+
+    def worker(label, priority):
+        grant = yield Acquire(resource, priority)
+        order.append(label)
+        grant.release()
+
+    def main():
+        hold = yield Spawn(holder())
+        yield Delay(0.1)
+        low = yield Spawn(worker("low", 10))
+        high = yield Spawn(worker("high", 0))
+        yield AllOf([hold, low, high])
+
+    engine.run_process(main())
+    assert order == ["high", "low"]
+
+
+def test_resource_try_acquire():
+    engine = Engine()
+    resource = Resource(engine, capacity=1)
+    grant = resource.try_acquire()
+    assert grant is not None
+    assert resource.try_acquire() is None
+    grant.release()
+    assert resource.try_acquire() is not None
+
+
+def test_grant_double_release_rejected():
+    engine = Engine()
+    resource = Resource(engine, capacity=1)
+    grant = resource.try_acquire()
+    grant.release()
+    with pytest.raises(SimulationError):
+        grant.release()
+
+
+def test_interrupt_while_queued_on_resource():
+    engine = Engine()
+    resource = Resource(engine, capacity=1)
+
+    def holder():
+        grant = yield Acquire(resource)
+        yield Delay(100)
+        grant.release()
+
+    def waiter():
+        try:
+            yield Acquire(resource)
+        except Interrupt:
+            return "gave up"
+        return "acquired"
+
+    def main():
+        yield Spawn(holder())
+        yield Delay(0.1)
+        proc = yield Spawn(waiter())
+        yield Delay(1)
+        proc.interrupt()
+        result = yield Join(proc)
+        assert resource.queue_length == 0
+        return result
+
+    assert engine.run_process(main()) == "gave up"
