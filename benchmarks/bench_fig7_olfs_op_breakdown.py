@@ -6,7 +6,9 @@ close — ~9 ms.  Through samba+OLFS the write gains seven extra stat calls
 (53 ms) and the read reaches ~15 ms.  Each internal op averages ~2.5 ms.
 
 Measured by replaying the paper's methodology: write and read a 1 KB file
-50 times with direct I/O and average the per-op timestamps.
+50 times with direct I/O and average the per-op timestamps.  The per-op
+numbers come from the tracer: every client call is a ``posix.*`` span whose
+``op.*`` child spans are the internal operations.
 """
 
 import pytest
@@ -25,8 +27,19 @@ PAPER = {
 ROUNDS = 50
 
 
+def _op_spans(tracer, call_name):
+    """The ``op.*`` children of the latest ``posix.<call>`` span."""
+    root = [span for span in tracer.find(name=call_name)][-1]
+    return [
+        span
+        for span in tracer.children_of(root)
+        if span.name.startswith("op.")
+    ]
+
+
 def run_breakdown(config: str):
-    ros = make_ros()
+    ros = make_ros(tracing=True)
+    tracer = ros.tracer
     if config != "ext4+OLFS":
         make_stack(config).attach(ros.pi)
     write_totals, read_totals = [], []
@@ -34,17 +47,20 @@ def run_breakdown(config: str):
     write_ops = read_ops = None
     for round_index in range(ROUNDS):
         path = f"/fig7/{config}/file-{round_index:03d}.bin"
-        trace = ros.write(path, b"k" * 1024)
-        write_totals.append(trace.total_seconds)
-        write_ops = trace.op_names()
-        for op in trace.ops:
-            op_samples.setdefault(op.name, []).append(op.seconds)
+        tracer.clear()
+        ros.write(path, b"k" * 1024)
+        ops = _op_spans(tracer, "posix.write")
+        write_totals.append(sum(span.duration for span in ops))
+        write_ops = [span.name[len("op.") :] for span in ops]
+        for name, span in zip(write_ops, ops):
+            op_samples.setdefault(name, []).append(span.duration)
+        tracer.clear()
         ros.read(path)
-        trace = ros.pi.last_trace
-        read_totals.append(trace.total_seconds)
-        read_ops = trace.op_names()
-        for op in trace.ops:
-            op_samples.setdefault(op.name, []).append(op.seconds)
+        ops = _op_spans(tracer, "posix.read")
+        read_totals.append(sum(span.duration for span in ops))
+        read_ops = [span.name[len("op.") :] for span in ops]
+        for name, span in zip(read_ops, ops):
+            op_samples.setdefault(name, []).append(span.duration)
     mean = lambda xs: sum(xs) / len(xs)  # noqa: E731
     return {
         "write_s": mean(write_totals),

@@ -30,25 +30,61 @@ PAPER = {
 }
 
 
-def _fetch_latency(ros, path):
-    """Data-path latency: resolve the index and fetch the bytes."""
-    image_id = ros.stat(path)["locations"][0]
-    start = ros.now
+def _subtree_sum(tracer, root, prefix):
+    """Total seconds under ``root`` in spans named ``prefix``*, skipping
+    the background cache-fill branch (it runs after the read returns)."""
+    total = 0.0
 
-    def fetch():
-        result = yield from ros.ftm.fetch_file(image_id, path)
-        return result
+    def visit(span):
+        nonlocal total
+        for child in tracer.children_of(span):
+            if child.name == "ftm.cache_fill":
+                continue
+            if child.name.startswith(prefix):
+                total += child.duration
+            visit(child)
+
+    visit(root)
+    return total
+
+
+def _fetch_latency(ros, path):
+    """Data-path latency: resolve the index and fetch the bytes.
+
+    The whole fetch runs under one ``table1.read`` span, so the span tree
+    is the latency decomposition; returns (latency, source, phases).
+    """
+    ros.stat(path)
+    start = ros.now
+    ros.tracer.clear()
 
     # include the MV lookup the read path performs
     def timed():
-        index = yield from ros.mv.lookup_index(path)
-        result = yield from ros.ftm.fetch_file(
-            index.current.locations[0], path
-        )
+        with ros.tracer.span("table1.read"):
+            index = yield from ros.mv.lookup_index(path)
+            result = yield from ros.ftm.fetch_file(
+                index.current.locations[0], path
+            )
         return result
 
     result = ros.run(timed())
-    return ros.now - start, result.source
+    latency = ros.now - start
+    root = ros.tracer.find(name="table1.read")[0]
+    # The direct children partition the fetch end to end (Table 1's rows
+    # have no dead time between phases).
+    child_sum = sum(
+        span.duration for span in ros.tracer.children_of(root)
+    )
+    assert root.duration == pytest.approx(latency, abs=1e-9)
+    assert child_sum == pytest.approx(root.duration, abs=1e-6), (
+        "span tree does not decompose the end-to-end latency"
+    )
+    phases = {
+        "mv_ms": 1e3 * _subtree_sum(ros.tracer, root, "mv."),
+        "mech_s": _subtree_sum(ros.tracer, root, "mc.ensure_disc_in_drive"),
+        "drive_s": _subtree_sum(ros.tracer, root, "drive."),
+    }
+    return latency, result.source, phases
 
 
 def build_scenarios():
@@ -56,20 +92,20 @@ def build_scenarios():
     rows = []
 
     # Row 1: file still in an open disk bucket.
-    ros = make_ros()
+    ros = make_ros(tracing=True)
     ros.write("/t1/bucket.bin", b"b" * 1024)
-    latency, source = _fetch_latency(ros, "/t1/bucket.bin")
-    rows.append(("disk bucket", latency, source))
+    latency, source, phases = _fetch_latency(ros, "/t1/bucket.bin")
+    rows.append(("disk bucket", latency, source, phases))
 
     # Row 2: file in a closed disc image on the disk buffer.
-    ros = make_ros()
+    ros = make_ros(tracing=True)
     ros.write("/t1/image.bin", b"i" * 1024)
     ros.wbm.close_nonempty_buckets()
-    latency, source = _fetch_latency(ros, "/t1/image.bin")
-    rows.append(("disc image", latency, source))
+    latency, source, phases = _fetch_latency(ros, "/t1/image.bin")
+    rows.append(("disc image", latency, source, phases))
 
     # Row 3: disc already sitting in a drive (awake, image unmounted).
-    ros = make_ros()
+    ros = make_ros(tracing=True)
     ros.write("/t1/drive.bin", b"d" * 1024)
     ros.flush()
     image_id = ros.stat("/t1/drive.bin")["locations"][0]
@@ -83,21 +119,21 @@ def build_scenarios():
     from repro.drives.drive import DriveState
 
     drive.state = DriveState.IDLE
-    latency, source = _fetch_latency(ros, "/t1/drive.bin")
-    rows.append(("disc in optical drive", latency, source))
+    latency, source, phases = _fetch_latency(ros, "/t1/drive.bin")
+    rows.append(("disc in optical drive", latency, source, phases))
 
     # Row 4: disc array in the roller, drives free.
-    ros = make_ros()
+    ros = make_ros(tracing=True)
     ros.write("/t1/roller.bin", b"r" * 1024)
     ros.flush()
     image_id = ros.stat("/t1/roller.bin")["locations"][0]
     ros.cache.evict(image_id)
-    latency, source = _fetch_latency(ros, "/t1/roller.bin")
-    rows.append(("roller, free drives", latency, source))
+    latency, source, phases = _fetch_latency(ros, "/t1/roller.bin")
+    rows.append(("roller, free drives", latency, source, phases))
 
     # Row 5: target in the roller while the only drive set holds another
     # (idle) array: unload + load.
-    ros = make_ros()
+    ros = make_ros(tracing=True)
     ros.write("/t1/first.bin", b"f" * 1024)
     ros.flush()
     first_image = ros.stat("/t1/first.bin")["locations"][0]
@@ -111,8 +147,8 @@ def build_scenarios():
     ros.drain_background()
     ros.cache.evict(first_image)
     ros.cache.evict(second_image)
-    latency, source = _fetch_latency(ros, "/t1/first.bin")
-    rows.append(("roller, drives occupied", latency, source))
+    latency, source, phases = _fetch_latency(ros, "/t1/first.bin")
+    rows.append(("roller, drives occupied", latency, source, phases))
 
     return rows
 
@@ -120,7 +156,7 @@ def build_scenarios():
 def test_table1_read_latency(benchmark):
     rows = benchmark.pedantic(build_scenarios, rounds=1, iterations=1)
     table = []
-    for name, measured, source in rows:
+    for name, measured, source, phases in rows:
         paper = PAPER[name]
         table.append(
             {
@@ -129,6 +165,9 @@ def test_table1_read_latency(benchmark):
                 "measured_s": round(measured, 4),
                 "ratio": round(measured / paper, 3),
                 "served_from": source,
+                "mv_ms": round(phases["mv_ms"], 3),
+                "mech_s": round(phases["mech_s"], 3),
+                "drive_s": round(phases["drive_s"], 3),
             }
         )
     print_table("Table 1: read latency by file location", table)

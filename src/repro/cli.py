@@ -10,6 +10,7 @@ builds what it needs and prints a report:
     tco          the §2.1 cost comparison, with adjustable scenario
     reliability  §4.7 array error rates and §4.2 MV sizing
     power        §5.1 power corner points
+    trace        run a traced scenario, print the span tree, export JSON
 """
 
 from __future__ import annotations
@@ -164,6 +165,69 @@ def cmd_power(_args) -> int:
     return 0
 
 
+#: Scenarios ``python -m repro trace`` can run.
+TRACE_SCENARIOS = ("cold-read", "write-burn", "ops")
+
+
+def cmd_trace(args) -> int:
+    """Run one traced scenario end to end and report its span trees."""
+    from repro import ROS, OLFSConfig
+    from repro.sim.tracing import to_chrome_trace, to_flat_json
+
+    config = OLFSConfig(
+        data_discs_per_array=3, parity_discs_per_array=1
+    ).scaled_for_tests(bucket_capacity=64 * 1024)
+    ros = ROS(
+        config=config,
+        roller_count=1,
+        buffer_volume_capacity=200 * units.MB,
+        tracing=True,
+        trace_seed=args.seed,
+    )
+    tracer = ros.tracer
+
+    if args.scenario == "cold-read":
+        for index in range(3):
+            ros.write(f"/trace/file-{index}.bin", bytes([index]) * 9000)
+        ros.flush()
+        path = "/trace/file-0.bin"
+        ros.cache.evict(ros.stat(path)["locations"][0])
+        tracer.clear()
+        result = ros.read(path)
+        ros.drain_background()
+        print(
+            f"cold read served from {result.source} in "
+            f"{result.total_seconds:.3f} s\n"
+        )
+    elif args.scenario == "write-burn":
+        tracer.clear()
+        for index in range(3):
+            ros.write(f"/trace/file-{index}.bin", bytes([index]) * 9000)
+        ros.flush()
+        ros.drain_background()
+        print(f"3 files written and burned in {ros.now:.1f} s (simulated)\n")
+    else:  # ops: the Figure-7 sequence, everything warm
+        ros.mkdir("/trace")
+        ros.write("/trace/warm.bin", b"w" * 4096)
+        tracer.clear()
+        ros.stat("/trace/warm.bin")
+        ros.read("/trace/warm.bin")
+        ros.readdir("/trace")
+        print("stat/read/readdir on a warm file\n")
+
+    for root in tracer.roots():
+        print(tracer.render_tree(root))
+        print()
+    print(f"{len(tracer.spans)} spans recorded")
+
+    if args.out:
+        exporter = to_chrome_trace if args.format == "chrome" else to_flat_json
+        with open(args.out, "w") as handle:
+            handle.write(exporter(tracer))
+        print(f"wrote {args.format} trace to {args.out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -201,6 +265,24 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("power", help="§5.1 power corner points").set_defaults(
         handler=cmd_power
     )
+
+    trace = sub.add_parser(
+        "trace", help="trace a scenario and export spans as JSON"
+    )
+    trace.add_argument(
+        "scenario",
+        choices=TRACE_SCENARIOS,
+        help="what to run under the tracer",
+    )
+    trace.add_argument("--out", help="write the exported trace here")
+    trace.add_argument(
+        "--format",
+        choices=("chrome", "flat"),
+        default="chrome",
+        help="export format (chrome://tracing JSON or a flat span list)",
+    )
+    trace.add_argument("--seed", type=int, default=0x7ACE)
+    trace.set_defaults(handler=cmd_trace)
     return parser
 
 

@@ -152,7 +152,10 @@ class OpticalDrive:
         self._require_disc()
         self._apply_idle_policy()
         if self.state is DriveState.SLEEPING:
-            yield Delay(SPIN_UP_SECONDS)
+            with self.engine.trace.span(
+                "drive.spin_up", "drive", {"drive_id": self.drive_id}
+            ):
+                yield Delay(SPIN_UP_SECONDS)
             self.busy_seconds += SPIN_UP_SECONDS
             self.state = DriveState.IDLE
         self._last_active = self.engine.now
@@ -162,7 +165,10 @@ class OpticalDrive:
         self._require_disc()
         yield from self.ensure_spinning()
         if self.state is not DriveState.MOUNTED:
-            yield Delay(VFS_MOUNT_SECONDS)
+            with self.engine.trace.span(
+                "drive.mount", "drive", {"drive_id": self.drive_id}
+            ):
+                yield Delay(VFS_MOUNT_SECONDS)
             self.busy_seconds += VFS_MOUNT_SECONDS
             self.state = DriveState.MOUNTED
             self._just_mounted = True
@@ -185,7 +191,10 @@ class OpticalDrive:
         if self._just_mounted:
             self._just_mounted = False
             return
-        yield Delay(FILE_SEEK_SECONDS)
+        with self.engine.trace.span(
+            "drive.seek", "drive", {"drive_id": self.drive_id}
+        ):
+            yield Delay(FILE_SEEK_SECONDS)
         self.busy_seconds += FILE_SEEK_SECONDS
         self._last_active = self.engine.now
 
@@ -196,7 +205,12 @@ class OpticalDrive:
         seconds = nbytes / self.read_rate()
         self.state = DriveState.READING
         try:
-            yield Delay(seconds)
+            with self.engine.trace.span(
+                "drive.read",
+                "drive",
+                {"drive_id": self.drive_id, "bytes": int(nbytes)},
+            ):
+                yield Delay(seconds)
         finally:
             self.busy_seconds += seconds
             self.state = DriveState.MOUNTED
@@ -250,6 +264,12 @@ class OpticalDrive:
         self._interrupt_requested = False
         started = self.engine.now
         burned = 0.0
+        burn_span = self.engine.trace.span(
+            "drive.burn",
+            "drive",
+            {"drive_id": self.drive_id, "bytes": size, "label": label},
+        )
+        burn_span.__enter__()
         try:
             for segment in curve.segments(size, start_progress, segment_count):
                 rate = units.bd_speed(segment.speed_multiple)
@@ -273,6 +293,9 @@ class OpticalDrive:
             self.busy_seconds += self.engine.now - started
             self.state = DriveState.IDLE
             self._last_active = self.engine.now
+            if self._interrupt_requested:
+                burn_span.tag("interrupted", True)
+            burn_span.__exit__(None, None, None)
         interrupted = self._interrupt_requested
         self._interrupt_requested = False
         if interrupted:

@@ -58,7 +58,10 @@ class RoboticArm:
             - self.geometry.layer_fraction(self.layer)
         )
         seconds = self.timings.travel(distance, loaded=self.is_loaded)
-        yield Delay(seconds)
+        with self.engine.trace.span(
+            "arm.move", "arm", {"arm_id": self.arm_id, "layer": layer}
+        ):
+            yield Delay(seconds)
         self.travel_seconds += seconds
         self.moves += 1
         self.layer = layer
@@ -70,7 +73,10 @@ class RoboticArm:
         """Lock the outer hook of the tray facing the arm."""
         if self.hooked:
             raise MechanicsError("arm already hooked to a tray")
-        yield Delay(self.timings.engage)
+        with self.engine.trace.span(
+            "arm.hook", "arm", {"arm_id": self.arm_id}
+        ):
+            yield Delay(self.timings.engage)
         self.hooked = True
 
     def release_tray(self) -> Generator:
@@ -90,7 +96,10 @@ class RoboticArm:
         """
         if self.holding:
             raise MechanicsError("arm is already holding discs")
-        yield Delay(self.timings.lift)
+        with self.engine.trace.span(
+            "arm.grab", "arm", {"arm_id": self.arm_id, "discs": len(discs)}
+        ):
+            yield Delay(self.timings.lift)
         self.holding = list(discs)
         self.layer = PARK_LAYER
 
@@ -98,7 +107,10 @@ class RoboticArm:
         """Lower the held stack into the open tray; returns the discs."""
         if not self.holding:
             raise MechanicsError("arm is not holding discs")
-        yield Delay(self.timings.lift)
+        with self.engine.trace.span(
+            "arm.lower", "arm", {"arm_id": self.arm_id}
+        ):
+            yield Delay(self.timings.lift)
         discs, self.holding = self.holding, []
         return discs
 
@@ -110,12 +122,18 @@ class RoboticArm:
         """
         if not self.holding:
             raise MechanicsError("no discs left to separate")
-        yield Delay(self.timings.separate_one())
+        with self.engine.trace.span(
+            "arm.separate", "arm", {"arm_id": self.arm_id}
+        ):
+            yield Delay(self.timings.separate_one())
         return self.holding.pop(0)
 
     def collect_next(self, disc: OpticalDisc) -> Generator:
         """Fetch one disc from an ejected drive tray onto the held stack."""
-        yield Delay(self.timings.collect_one())
+        with self.engine.trace.span(
+            "arm.collect", "arm", {"arm_id": self.arm_id}
+        ):
+            yield Delay(self.timings.collect_one())
         self.holding.append(disc)
 
     def __repr__(self) -> str:

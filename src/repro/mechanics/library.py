@@ -136,6 +136,20 @@ class MechanicalSubsystem:
         Returns the list of discs now sitting in the drives (top drive
         first).  Table 3, "loading" rows.
         """
+        with self.engine.trace.span(
+            "mech.load_array",
+            "mech",
+            {"set_id": set_id, "layer": address.layer, "slot": address.slot},
+        ):
+            placed = yield from self._load_array(set_id, address, priority)
+        return placed
+
+    def _load_array(
+        self,
+        set_id: int,
+        address: TrayAddress,
+        priority: int = 0,
+    ) -> Generator:
         roller_index = self.roller_of_set(set_id)
         drive_set = self.drive_sets[set_id]
         if not drive_set.is_empty:
@@ -220,6 +234,18 @@ class MechanicalSubsystem:
         ``address`` defaults to the tray the array was loaded from.
         Table 3, "unloading" rows.
         """
+        with self.engine.trace.span(
+            "mech.unload_array", "mech", {"set_id": set_id}
+        ):
+            result = yield from self._unload_array(set_id, address, priority)
+        return result
+
+    def _unload_array(
+        self,
+        set_id: int,
+        address: Optional[TrayAddress] = None,
+        priority: int = 0,
+    ) -> Generator:
         roller_index = self.roller_of_set(set_id)
         drive_set = self.drive_sets[set_id]
         if drive_set.is_busy:

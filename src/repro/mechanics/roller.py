@@ -98,7 +98,10 @@ class Roller:
             )
         if slot == self.facing_slot and self.aligned:
             return
-        yield Delay(self.timings.rotate)
+        with self.engine.trace.span(
+            "roller.rotate", "roller", {"roller_id": self.roller_id, "slot": slot}
+        ):
+            yield Delay(self.timings.rotate)
         self.rotation_count += 1
         self.rotation_seconds += self.timings.rotate
         self.facing_slot = slot
@@ -118,14 +121,20 @@ class Roller:
             )
         if self._fanned_out is not None:
             raise MechanicsError(f"tray {self._fanned_out} already fanned out")
-        yield Delay(self.timings.fan_out)
+        with self.engine.trace.span(
+            "roller.fan_out", "roller", {"roller_id": self.roller_id}
+        ):
+            yield Delay(self.timings.fan_out)
         self._fanned_out = address
 
     def fan_in(self) -> Generator:
         """Close the currently fanned-out tray back into the roller."""
         if self._fanned_out is None:
             raise MechanicsError("no tray is fanned out")
-        yield Delay(self.timings.fan_in)
+        with self.engine.trace.span(
+            "roller.fan_in", "roller", {"roller_id": self.roller_id}
+        ):
+            yield Delay(self.timings.fan_in)
         self._fanned_out = None
         self.aligned = False
 

@@ -33,14 +33,14 @@ from repro.udf.image import DiscImage
 class BurnTask:
     """One disc-array burn from parity generation to unload."""
 
-    _ids = itertools.count(1)
-
     def __init__(
         self,
         controller: "BurnController",
         data_records: list[ImageRecord],
     ):
-        self.task_id = next(self._ids)
+        # Task ids come from the controller so independent OLFS instances
+        # number their burns identically (trace determinism).
+        self.task_id = next(controller._task_ids)
         self.controller = controller
         self.engine = controller.engine
         self.data_records = data_records
@@ -70,6 +70,15 @@ class BurnTask:
 
     # ------------------------------------------------------------------
     def run(self) -> Generator:
+        with self.engine.trace.span(
+            "btm.burn_task",
+            "btm",
+            {"task_id": self.task_id, "images": len(self.data_records)},
+        ) as span:
+            yield from self._run()
+            span.tag("state", self.state)
+
+    def _run(self) -> Generator:
         mc = self.controller.mc
         dim = self.controller.dim
         config = self.controller.config
@@ -77,9 +86,10 @@ class BurnTask:
             self.state = "parity"
             data_images = [record.image for record in self.data_records]
             if config.parity_discs_per_array > 0:
-                self.parity_images = yield from dim.generate_parity(
-                    data_images
-                )
+                with self.engine.trace.span("btm.parity", "btm"):
+                    self.parity_images = yield from dim.generate_parity(
+                        data_images
+                    )
             all_images = data_images + self.parity_images
             payloads = [
                 (image.serialize(), image.logical_size, image.image_id)
@@ -139,6 +149,21 @@ class BurnTask:
     ) -> Generator:
         """Load the tray (blank on the first round), burn what remains of
         each image, unload.  Returns True when every image completed."""
+        with self.engine.trace.span(
+            "btm.burn_round", "btm", {"task_id": self.task_id}
+        ):
+            finished = yield from self._burn_round_inner(
+                all_images, payloads, burned_prefix, real_prefix
+            )
+        return finished
+
+    def _burn_round_inner(
+        self,
+        all_images: list[DiscImage],
+        payloads: list[tuple[bytes, int, str]],
+        burned_prefix: dict[str, float],
+        real_prefix: dict[str, int],
+    ) -> Generator:
         mc = self.controller.mc
         dim = self.controller.dim
         mech = mc.mech
@@ -282,6 +307,7 @@ class BurnController:
         #: wired by OLFS after construction: burned data images migrate
         #: from pinned buffer space into the LRU read cache
         self.cache = None
+        self._task_ids = itertools.count(1)
         self.active_tasks: list[BurnTask] = []
         self.completed_tasks: list[BurnTask] = []
         self.failed_tasks: list[tuple[BurnTask, Exception]] = []

@@ -26,6 +26,8 @@ class ReadCache:
         self._lru: "OrderedDict[str, None]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        #: optional MetricsRegistry; OLFS wires its own in
+        self.metrics = None
 
     def __contains__(self, image_id: str) -> bool:
         return image_id in self._lru
@@ -37,10 +39,14 @@ class ReadCache:
             image = self.dim.get_buffered(image_id)
             if image is not None:
                 self.hits += 1
+                if self.metrics is not None:
+                    self.metrics.counter("cache.hits").inc()
                 return image
             # Content vanished (e.g. manual evict); treat as miss.
             del self._lru[image_id]
         self.misses += 1
+        if self.metrics is not None:
+            self.metrics.counter("cache.misses").inc()
         return None
 
     def put(self, image_id: str, image: DiscImage) -> None:
@@ -51,6 +57,10 @@ class ReadCache:
         while len(self._lru) > self.capacity_images:
             victim, _ = self._lru.popitem(last=False)
             self.dim.evict_content(victim)
+            if self.metrics is not None:
+                self.metrics.counter("cache.evictions").inc()
+        if self.metrics is not None:
+            self.metrics.gauge("cache.cached_images").set(len(self._lru))
 
     def evict(self, image_id: str) -> None:
         if image_id in self._lru:

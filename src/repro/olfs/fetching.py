@@ -91,31 +91,53 @@ class FetchController:
 
         Returns a :class:`FetchResult`.
         """
+        with self.engine.trace.span(
+            "ftm.fetch", "ftm", {"image_id": image_id, "path": path}
+        ) as span:
+            result = yield from self._fetch_file(image_id, path, priority)
+            span.tag("source", result.source)
+        return result
+
+    def _fetch_file(
+        self, image_id: str, path: str, priority: int
+    ) -> Generator:
+        trace = self.engine.trace
         record = self.dim.record(image_id)
         if record.state == IN_BUCKET:
-            data = yield from self.wbm.read_file(image_id, path)
+            with trace.span("ftm.read_bucket", "ftm"):
+                data = yield from self.wbm.read_file(image_id, path)
             return FetchResult(data, "bucket", mechanical=False)
         if self.file_cache is not None and record.state == BURNED:
             cached_file = self.file_cache.get(image_id, path)
             if cached_file is not None:
-                volume = self.scheduler.volume_for(StreamKind.USER_READ)
-                yield Delay(self.config.bucket_access_seconds)
-                yield from volume.read(len(cached_file))
+                with trace.span("ftm.read_file_cache", "ftm"):
+                    volume = self.scheduler.volume_for(StreamKind.USER_READ)
+                    yield Delay(self.config.bucket_access_seconds)
+                    yield from volume.read(len(cached_file))
                 return FetchResult(cached_file, "file-cache", mechanical=False)
         image = None
         if record.state == BURNED:
             # Burned content lives under the read cache's LRU policy.
             image = self.cache.get(image_id)
+            trace.event(
+                "cache.hit" if image is not None else "cache.miss",
+                "cache",
+                {"image_id": image_id},
+            )
         if image is None:
             image = self.dim.get_buffered(image_id)
         if image is not None:
-            result = yield from self._read_from_buffer(image, path)
+            with trace.span("ftm.read_buffer", "ftm"):
+                result = yield from self._read_from_buffer(image, path)
             return result
         if record.state != BURNED:
             raise FilesystemError(
                 f"image {image_id} unreadable in state {record.state}"
             )
-        result = yield from self._read_from_disc(record, path, priority)
+        with trace.span(
+            "ftm.read_disc", "ftm", {"disc_id": record.disc_id}
+        ):
+            result = yield from self._read_from_disc(record, path, priority)
         return result
 
     def _read_from_buffer(self, image: DiscImage, path: str) -> Generator:
@@ -216,10 +238,13 @@ class FetchController:
     def _cache_fill(self, drive, grant, record, image) -> Generator:
         """Copy the fetched image to the disk buffer, then free the set."""
         try:
-            yield from drive.read_bytes(record.logical_size)
-            volume = self.scheduler.volume_for(StreamKind.USER_WRITE)
-            yield from volume.write(record.logical_size)
-            self.cache.put(record.image_id, image)
+            with self.engine.trace.span(
+                "ftm.cache_fill", "ftm", {"image_id": record.image_id}
+            ):
+                yield from drive.read_bytes(record.logical_size)
+                volume = self.scheduler.volume_for(StreamKind.USER_WRITE)
+                yield from volume.write(record.logical_size)
+                self.cache.put(record.image_id, image)
         finally:
             grant.release()
 

@@ -29,6 +29,7 @@ from repro.olfs.metadata import MetadataVolume
 from repro.olfs.posix import OpTrace, POSIXInterface, ReadResult
 from repro.olfs.recovery import RecoveryManager
 from repro.sim.engine import Engine, Wait
+from repro.sim.tracing import MetricsRegistry, Tracer
 from repro.storage.scheduler import IOStreamScheduler
 from repro.storage.volume import Volume
 
@@ -57,9 +58,21 @@ class OLFS:
         io_policy: str = "partitioned",
         geometry: RollerGeometry = DEFAULT_GEOMETRY,
         parallel_scheduling: bool = False,
+        tracing: bool = False,
+        trace_seed: int = 0x7ACE,
     ):
         self.engine = engine or Engine()
         self.config = config or OLFSConfig()
+
+        # -- observability -------------------------------------------------
+        # Metrics are always on (cheap counters); span tracing is opt-in
+        # and installs on the shared engine, so components created below
+        # pick it up through ``engine.trace``.
+        self.metrics = MetricsRegistry()
+        self.tracer: Optional[Tracer] = None
+        if tracing:
+            self.tracer = Tracer(self.engine, seed=trace_seed)
+            self.engine.trace = self.tracer
 
         # -- storage tier -------------------------------------------------
         self.mv_volume = Volume(
@@ -82,6 +95,7 @@ class OLFS:
             for index in range(buffer_volume_count)
         ]
         self.scheduler = IOStreamScheduler(self.buffer_volumes, policy=io_policy)
+        self.scheduler.metrics = self.metrics
 
         # -- mechanics ------------------------------------------------------
         self.mech = MechanicalSubsystem(
@@ -132,6 +146,7 @@ class OLFS:
                 self.dim.register_open_bucket(bucket.image_id)
 
         self.cache = ReadCache(self.dim, self.config.read_cache_images)
+        self.cache.metrics = self.metrics
         self.btm.cache = self.cache
         # Buffer-pressure valve: allocations on the buffer volumes may
         # evict burned cached images instead of failing.
@@ -156,6 +171,7 @@ class OLFS:
             self.ftm,
             self.foreparts,
         )
+        self.pi.metrics = self.metrics
         self.recovery = RecoveryManager(
             self.engine, self.config, self.mv, self.dim, self.mc, self.btm
         )

@@ -165,7 +165,10 @@ class MechanicalController:
         return self._locks[set_id]
 
     def acquire_set(self, set_id: int, priority: int) -> Generator:
-        grant = yield Acquire(self._locks[set_id], priority)
+        with self.engine.trace.span(
+            "mc.acquire_set", "mc", {"set_id": set_id, "priority": priority}
+        ):
+            grant = yield Acquire(self._locks[set_id], priority)
         return grant
 
     def pick_set_for_burn(self, roller_index: int) -> int:
@@ -192,12 +195,24 @@ class MechanicalController:
     ) -> Generator:
         """Make ``disc_id`` readable in some drive; returns
         ``(drive, set_id, grant)`` with the set lock held by the caller."""
+        with self.engine.trace.span(
+            "mc.ensure_disc_in_drive", "mc", {"disc_id": disc_id}
+        ) as span:
+            result = yield from self._ensure_disc_in_drive(
+                disc_id, priority, span
+            )
+        return result
+
+    def _ensure_disc_in_drive(
+        self, disc_id: str, priority: int, span
+    ) -> Generator:
         # Already sitting in a drive set?
         for drive_set in self.mech.drive_sets:
             if drive_set.find_disc(disc_id) is not None:
                 grant = yield from self.acquire_set(drive_set.set_id, priority)
                 drive = drive_set.find_disc(disc_id)
                 if drive is not None:
+                    span.tag("already_in_drive", True)
                     return drive, drive_set.set_id, grant
                 grant.release()  # moved away while we queued; fall through
                 break
@@ -206,6 +221,7 @@ class MechanicalController:
             raise MechanicsError(f"disc {disc_id} is nowhere in the library")
         roller_index, address = located
         set_id = self._choose_fetch_set(roller_index)
+        span.tag("set_id", set_id)
         grant = yield from self.acquire_set(set_id, priority)
         try:
             drive_set = self.mech.drive_sets[set_id]

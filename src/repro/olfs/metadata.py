@@ -327,11 +327,13 @@ class MetadataVolume:
 
     # ------------------------------------------------------------------
     def _charge_lookup(self, nbytes: int) -> Generator:
-        self.lookups += 1
-        yield Delay(self.lookup_seconds)
-        yield from self.volume.read(max(nbytes, 256))
+        with self.engine.trace.span("mv.lookup", "mv"):
+            self.lookups += 1
+            yield Delay(self.lookup_seconds)
+            yield from self.volume.read(max(nbytes, 256))
 
     def _charge_update(self, nbytes: int) -> Generator:
-        self.updates += 1
-        yield Delay(self.update_seconds)
-        yield from self.volume.write(max(nbytes, 256))
+        with self.engine.trace.span("mv.update", "mv"):
+            self.updates += 1
+            yield Delay(self.update_seconds)
+            yield from self.volume.write(max(nbytes, 256))

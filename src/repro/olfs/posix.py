@@ -49,6 +49,10 @@ OP_PROCESS_SECONDS = {
     "unlink": 0.0019,
 }
 
+#: Histogram bucket bounds (seconds) for per-op latency: sub-ms cached ops
+#: through multi-minute mechanical fetches (Table 1's full range).
+OP_LATENCY_BOUNDS = (0.001, 0.002, 0.005, 0.01, 0.05, 0.5, 5.0, 60.0, 300.0)
+
 
 @dataclass
 class OpRecord:
@@ -105,20 +109,29 @@ class POSIXInterface:
         #: extra stat calls the frontend issues on the write path (§5.3)
         self.frontend_extra_write_stats = 0
         self.last_trace: Optional[OpTrace] = None
+        #: optional MetricsRegistry; OLFS wires its own in
+        self.metrics = None
 
     # ------------------------------------------------------------------
     # Internal-op plumbing
     # ------------------------------------------------------------------
     def _op(self, trace: OpTrace, name: str, work=None) -> Generator:
         """Run one internal op: fixed processing + optional timed work."""
-        start = self.engine.now
-        fixed = OP_PROCESS_SECONDS[name] * self.config.internal_op_scale
-        fixed += self.frontend_per_op_seconds
-        yield Delay(fixed)
-        result = None
-        if work is not None:
-            result = yield from work
-        trace.ops.append(OpRecord(name, self.engine.now - start))
+        with self.engine.trace.span(f"op.{name}", "posix"):
+            start = self.engine.now
+            fixed = OP_PROCESS_SECONDS[name] * self.config.internal_op_scale
+            fixed += self.frontend_per_op_seconds
+            yield Delay(fixed)
+            result = None
+            if work is not None:
+                result = yield from work
+            elapsed = self.engine.now - start
+            trace.ops.append(OpRecord(name, elapsed))
+            if self.metrics is not None:
+                self.metrics.counter(f"posix.ops.{name}").inc()
+                self.metrics.histogram(
+                    "posix.op_seconds", OP_LATENCY_BOUNDS
+                ).observe(elapsed)
         return result
 
     def _stat_work(self, path: str) -> Generator:
@@ -142,6 +155,18 @@ class POSIXInterface:
 
         Returns the :class:`OpTrace`.
         """
+        with self.engine.trace.span(
+            "posix.write", "posix", {"path": path, "bytes": len(data)}
+        ):
+            trace = yield from self._write_file(path, data, logical_size)
+        return trace
+
+    def _write_file(
+        self,
+        path: str,
+        data: bytes,
+        logical_size: Optional[int] = None,
+    ) -> Generator:
         trace = OpTrace("write")
         now = self.engine.now
         index = yield from self._op(trace, "stat", self._stat_work(path))
@@ -227,6 +252,16 @@ class POSIXInterface:
         Returns a :class:`ReadResult`; multi-part files are reassembled
         across their subfile images (§4.5).
         """
+        with self.engine.trace.span(
+            "posix.read", "posix", {"path": path}
+        ) as span:
+            result = yield from self._read_file(path, version)
+            span.tag("source", result.source)
+        return result
+
+    def _read_file(
+        self, path: str, version: Optional[int] = None
+    ) -> Generator:
         trace = OpTrace("read")
         start = self.engine.now
         index = yield from self._op(trace, "stat", self._stat_work(path))
@@ -321,6 +356,11 @@ class POSIXInterface:
 
     def stat(self, path: str) -> Generator:
         """getattr: size/mtime/versions from the index file."""
+        with self.engine.trace.span("posix.stat", "posix", {"path": path}):
+            result = yield from self._stat(path)
+        return result
+
+    def _stat(self, path: str) -> Generator:
         trace = OpTrace("stat")
         index = yield from self._op(trace, "stat", self._stat_work(path))
         self.last_trace = trace
@@ -340,27 +380,32 @@ class POSIXInterface:
         }
 
     def mkdir(self, path: str) -> Generator:
-        trace = OpTrace("mkdir")
-        kind = yield from self.mv.entry_kind(path)
-        if kind is not None:
-            raise FileExistsOLFSError(f"{path!r} exists")
-        yield from self._op(
-            trace, "mkdir", self.mv.make_dir(path, self.engine.now)
-        )
-        self.last_trace = trace
+        with self.engine.trace.span("posix.mkdir", "posix", {"path": path}):
+            trace = OpTrace("mkdir")
+            kind = yield from self.mv.entry_kind(path)
+            if kind is not None:
+                raise FileExistsOLFSError(f"{path!r} exists")
+            yield from self._op(
+                trace, "mkdir", self.mv.make_dir(path, self.engine.now)
+            )
+            self.last_trace = trace
 
     def readdir(self, path: str) -> Generator:
-        trace = OpTrace("readdir")
-        names = yield from self._op(trace, "readdir", self.mv.listdir(path))
-        self.last_trace = trace
+        with self.engine.trace.span("posix.readdir", "posix", {"path": path}):
+            trace = OpTrace("readdir")
+            names = yield from self._op(
+                trace, "readdir", self.mv.listdir(path)
+            )
+            self.last_trace = trace
         return names
 
     def unlink(self, path: str) -> Generator:
         """Remove from the global namespace.  Data already burned stays on
         its discs (WORM); OLFS remains a traceable file system (§4.6)."""
-        trace = OpTrace("unlink")
-        yield from self._op(trace, "unlink", self.mv.remove_index(path))
-        self.last_trace = trace
+        with self.engine.trace.span("posix.unlink", "posix", {"path": path}):
+            trace = OpTrace("unlink")
+            yield from self._op(trace, "unlink", self.mv.remove_index(path))
+            self.last_trace = trace
 
     def versions(self, path: str) -> Generator:
         index = yield from self.mv.lookup_index(path)

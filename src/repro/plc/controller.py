@@ -68,11 +68,14 @@ class PLCController:
     def execute(self, instruction: Instruction) -> Generator:
         """Run one instruction to completion; returns its result, if any."""
         self.instructions_executed += 1
-        try:
-            result = yield from self._dispatch(instruction)
-        except PLCFaultError:
-            self.faults += 1
-            raise
+        with self.engine.trace.span(
+            f"plc.{type(instruction).__name__.lower()}", "plc"
+        ):
+            try:
+                result = yield from self._dispatch(instruction)
+            except PLCFaultError:
+                self.faults += 1
+                raise
         return result
 
     def _dispatch(self, instruction: Instruction) -> Generator:
@@ -144,4 +147,5 @@ class PLCController:
     def collect_into_arm(self, arm_index: int, disc) -> Generator:
         """Timed fetch of one disc from a drive tray onto the arm's stack."""
         self.instructions_executed += 1
-        yield from self.arms[arm_index].collect_next(disc)
+        with self.engine.trace.span("plc.collectdisc", "plc"):
+            yield from self.arms[arm_index].collect_next(disc)

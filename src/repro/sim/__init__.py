@@ -36,21 +36,43 @@ from repro.sim.engine import (
 from repro.sim.resources import Grant, Resource
 from repro.sim.bandwidth import SharedBandwidth
 from repro.sim.rng import DeterministicRNG
+from repro.sim.tracing import (
+    NULL_TRACER,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullTracer,
+    Span,
+    Tracer,
+    to_chrome_trace,
+    to_flat_json,
+)
 
 __all__ = [
     "Acquire",
     "AllOf",
+    "Counter",
     "Delay",
     "DeterministicRNG",
     "Engine",
     "FirstOf",
+    "Gauge",
     "Grant",
+    "Histogram",
     "Interrupt",
     "Join",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
     "Process",
     "Resource",
     "SharedBandwidth",
     "SimEvent",
+    "Span",
     "Spawn",
+    "Tracer",
+    "to_chrome_trace",
+    "to_flat_json",
     "Wait",
 ]

@@ -34,6 +34,8 @@ import heapq
 import itertools
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from repro.sim.tracing import NULL_TRACER
+
 
 class SimulationError(RuntimeError):
     """Raised for engine-level failures (deadlock, misuse of effects)."""
@@ -227,6 +229,8 @@ class Process:
         "_completion_waiters",
         "_pending_cancel",
         "_waiting_on",
+        "span_parent",
+        "_span_stack",
     )
 
     def __init__(self, engine: "Engine", generator: Generator, name: str = ""):
@@ -242,6 +246,11 @@ class Process:
         # (timer, event, resource queue); used by interrupt().
         self._pending_cancel: Optional[Callable[[], None]] = None
         self._waiting_on: Optional[str] = None
+        # Tracing context: the span that was active when this process was
+        # spawned (background work attaches under it), and this process's
+        # own stack of open spans (created lazily by the tracer).
+        self.span_parent = None
+        self._span_stack: Optional[list] = None
 
     @property
     def result(self) -> Any:
@@ -287,6 +296,11 @@ class Engine:
         self._heap: list[tuple[float, int, Timer]] = []
         self._sequence = itertools.count()
         self._active: int = 0  # number of live (unfinished) processes
+        #: the process whose generator is currently being stepped (tracing
+        #: context; resumes always go through the heap, so steps never nest)
+        self.current_process: Optional[Process] = None
+        #: tracer hook; replace with :class:`repro.sim.tracing.Tracer`
+        self.trace = NULL_TRACER
 
     @property
     def now(self) -> float:
@@ -317,6 +331,9 @@ class Engine:
     def spawn(self, generator: Generator, name: str = "") -> Process:
         """Start a new process; it first runs at the current simulated time."""
         process = Process(self, generator, name)
+        parent = self.trace.active_span()
+        if parent is not None:
+            process.span_parent = parent
         self._active += 1
         self._schedule_resume(process, value=None, first=True)
         return process
@@ -384,18 +401,23 @@ class Engine:
         generator = process._generator
         process._pending_cancel = None
         process._waiting_on = None
+        previous = self.current_process
+        self.current_process = process
         try:
-            if exception is not None:
-                effect = generator.throw(exception)
-            else:
-                effect = generator.send(value)
-        except StopIteration as stop:
-            self._finish(process, result=stop.value)
-            return
-        except Exception as error:  # noqa: BLE001 - propagate via joiners
-            self._finish(process, error=error)
-            return
-        self._apply_effect(process, effect)
+            try:
+                if exception is not None:
+                    effect = generator.throw(exception)
+                else:
+                    effect = generator.send(value)
+            except StopIteration as stop:
+                self._finish(process, result=stop.value)
+                return
+            except Exception as error:  # noqa: BLE001 - propagate via joiners
+                self._finish(process, error=error)
+                return
+            self._apply_effect(process, effect)
+        finally:
+            self.current_process = previous
 
     def _apply_effect(self, process: Process, effect: Any) -> None:
         if isinstance(effect, Delay):

@@ -44,6 +44,8 @@ class IOStreamScheduler:
             raise StorageError(f"unknown policy {policy!r}")
         self.volumes = list(volumes)
         self.policy = policy
+        #: optional MetricsRegistry; OLFS wires its own in
+        self.metrics = None
         self._assignment: dict[StreamKind, Volume] = {}
         self._build_assignment()
 
@@ -65,6 +67,8 @@ class IOStreamScheduler:
             self._assignment[kind] = self.volumes[next(cycle)]
 
     def volume_for(self, kind: StreamKind) -> Volume:
+        if self.metrics is not None:
+            self.metrics.counter(f"scheduler.requests.{kind.value}").inc()
         return self._assignment[kind]
 
     def assignment(self) -> dict[StreamKind, str]:

@@ -20,6 +20,8 @@ def make_ros(
     cache_granularity="image",
     prefetch_siblings=0,
     buffer_volume_capacity=200 * units.MB,
+    tracing=False,
+    trace_seed=0x7ACE,
 ):
     """A small ROS rack: tiny buckets so burns complete in simulated minutes."""
     config = OLFSConfig(
@@ -39,6 +41,8 @@ def make_ros(
         roller_count=roller_count,
         buffer_volume_capacity=buffer_volume_capacity,
         io_policy=io_policy,
+        tracing=tracing,
+        trace_seed=trace_seed,
     )
 
 
