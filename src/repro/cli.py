@@ -11,6 +11,7 @@ builds what it needs and prints a report:
     reliability  §4.7 array error rates and §4.2 MV sizing
     power        §5.1 power corner points
     trace        run a traced scenario, print the span tree, export JSON
+    chaos        seeded fault-injection campaign with invariant checks
 """
 
 from __future__ import annotations
@@ -228,6 +229,56 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    """Run a seeded chaos campaign (twice, by default) and audit it.
+
+    The same seed must produce a byte-identical report every time; any
+    divergence or invariant violation is a non-zero exit.
+    """
+    import json
+
+    from repro.faults.campaign import report_to_json, run_campaign
+
+    runs = []
+    for _ in range(max(1, args.campaigns)):
+        report = run_campaign(args.seed, args.ops, intensity=args.intensity)
+        runs.append(report_to_json(report))
+    identical = all(run == runs[0] for run in runs[1:])
+    report = json.loads(runs[0])
+
+    print(f"chaos campaign: seed={args.seed} ops={args.ops} "
+          f"intensity={args.intensity} (x{len(runs)} runs)")
+    print(f"  plan: {len(report['plan'])} fault specs, "
+          f"{len(report['fault_events'])} injector events, "
+          f"sim clock {report['final_time'] / 60:.1f} min")
+    workload = report["workload"]
+    print(f"  workload: {workload['writes']} writes "
+          f"({workload['write_errors']} failed), {workload['reads']} reads "
+          f"({workload['read_errors']} failed), {workload['flushes']} flushes"
+          f" -> {report['acked_files']} files acknowledged")
+    for inv in report["invariants"]:
+        mark = "ok" if inv["ok"] else "VIOLATED"
+        print(f"  invariant {inv['invariant']}: {mark} "
+              f"(checked {inv['detail'].get('checked', '-')})")
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(runs[0])
+        print(f"  wrote report to {args.out}")
+    if not identical:
+        print("DETERMINISM VIOLATION: reports differ across identical runs")
+        return 1
+    if report["workload_violations"]:
+        print(f"MID-CAMPAIGN VIOLATIONS: {report['workload_violations']}")
+        return 1
+    if not report["ok"]:
+        for inv in report["invariants"]:
+            if not inv["ok"]:
+                print(f"FAILED {inv['invariant']}: {inv['detail']}")
+        return 1
+    print(f"  all 4 invariants hold; {len(runs)} runs byte-identical")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -283,6 +334,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace.add_argument("--seed", type=int, default=0x7ACE)
     trace.set_defaults(handler=cmd_trace)
+
+    chaos = sub.add_parser(
+        "chaos", help="seeded fault campaign + invariant audit"
+    )
+    chaos.add_argument("--seed", type=int, default=7)
+    chaos.add_argument("--ops", type=int, default=200,
+                       help="workload operations per campaign")
+    chaos.add_argument("--campaigns", type=int, default=2,
+                       help="identical runs to byte-compare (default 2)")
+    chaos.add_argument("--intensity", type=float, default=1.0,
+                       help="fault-plan hazard multiplier")
+    chaos.add_argument("--out", help="write the JSON report here")
+    chaos.set_defaults(handler=cmd_chaos)
     return parser
 
 

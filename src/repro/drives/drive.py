@@ -14,6 +14,7 @@ as a Pseudo-Over-Write track, and the remainder is appended later.
 from __future__ import annotations
 
 import enum
+import warnings
 from dataclasses import dataclass
 from typing import Generator, Optional, TYPE_CHECKING
 
@@ -73,9 +74,9 @@ class OpticalDrive:
         self.read_efficiency = read_efficiency
         self.busy_seconds = 0.0
         self._interrupt_requested = False
-        #: test/maintenance hook: the next burn fails mid-write (a bad
-        #: disc or a drive fault), exercising the DAindex Failed path
-        self.inject_burn_failure = False
+        #: forced burn faults pending (the deprecated
+        #: ``inject_burn_failure`` shim arms one; prefer ``repro.faults``)
+        self._forced_burn_faults = 0
         #: spindle power policy: after this many idle seconds the drive
         #: drops to SLEEPING and the next access pays the 2 s spin-up
         #: (§5.4: the spin-up and VFS mount "occur only when the drive is
@@ -123,6 +124,30 @@ class OpticalDrive:
             self.state = DriveState.SLEEPING
 
     @property
+    def inject_burn_failure(self) -> bool:
+        """Deprecated: use a ``FaultPlan`` / ``FaultInjector.inject`` with
+        kind ``drive.burn_transient`` (see :mod:`repro.faults`)."""
+        return self._forced_burn_faults > 0
+
+    @inject_burn_failure.setter
+    def inject_burn_failure(self, value: bool) -> None:
+        warnings.warn(
+            "OpticalDrive.inject_burn_failure is deprecated; inject "
+            "'drive.burn_transient' through repro.faults.FaultInjector",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._forced_burn_faults = 1 if value else 0
+
+    def _check_op_fault(self) -> None:
+        """Raise if the fault injector has an armed 'drive.op' fault."""
+        fault = self.engine.faults.check("drive.op", self.drive_id)
+        if fault is not None:
+            raise DriveError(
+                f"{self.drive_id}: injected fault ({fault.kind})"
+            )
+
+    @property
     def has_disc(self) -> bool:
         return self.disc is not None
 
@@ -163,6 +188,7 @@ class OpticalDrive:
     def mount(self) -> Generator:
         """Make the disc's fs visible in the local VFS (220 ms)."""
         self._require_disc()
+        self._check_op_fault()
         yield from self.ensure_spinning()
         if self.state is not DriveState.MOUNTED:
             with self.engine.trace.span(
@@ -188,6 +214,7 @@ class OpticalDrive:
         Free immediately after a mount (head already on the metadata).
         """
         self._require_disc()
+        self._check_op_fault()
         if self._just_mounted:
             self._just_mounted = False
             return
@@ -202,6 +229,7 @@ class OpticalDrive:
         """Stream ``nbytes`` from the mounted disc (state: READING)."""
         if self.state is not DriveState.MOUNTED:
             raise DriveError(f"{self.drive_id}: disc not mounted")
+        self._check_op_fault()
         seconds = nbytes / self.read_rate()
         self.state = DriveState.READING
         try:
@@ -251,6 +279,7 @@ class OpticalDrive:
         self._require_disc()
         if self.is_busy:
             raise DriveError(f"{self.drive_id}: drive is busy")
+        self._check_op_fault()
         yield from self.ensure_spinning()
         size = len(payload) if logical_size is None else int(logical_size)
         if curve is None:
@@ -279,11 +308,20 @@ class OpticalDrive:
                     factor = throttle.factor()
                 yield Delay(segment.seconds / factor)
                 burned += segment.nbytes
-                if self.inject_burn_failure:
-                    self.inject_burn_failure = False
+                if self._forced_burn_faults > 0:
+                    self._forced_burn_faults -= 1
                     raise DriveError(
                         f"{self.drive_id}: write error at "
                         f"{segment.end_progress:.0%} (injected fault)"
+                    )
+                fault = self.engine.faults.check(
+                    "drive.burn", self.drive_id
+                ) or self.engine.faults.check("drive.op", self.drive_id)
+                if fault is not None:
+                    raise DriveError(
+                        f"{self.drive_id}: write error at "
+                        f"{segment.end_progress:.0%} "
+                        f"(injected {fault.kind})"
                     )
                 if self._interrupt_requested:
                     break

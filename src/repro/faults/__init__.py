@@ -1,0 +1,39 @@
+"""Deterministic fault injection: plans, injector, policies, campaigns."""
+
+from repro.faults.plan import (
+    ALL_KINDS,
+    CACHE_LOSS,
+    DISC_SECTOR_BURST,
+    DRIVE_HARD,
+    DRIVE_TRANSIENT,
+    FaultPlan,
+    FaultSpec,
+    OLFS_CRASH,
+    PLC_ARM_JAM,
+    PLC_CHANNEL,
+)
+from repro.faults.injector import (
+    FaultInjector,
+    SITE_DRIVE_BURN,
+    SITE_DRIVE_OP,
+    SITE_PLC_CHANNEL,
+)
+from repro.faults.policy import RetryPolicy
+
+__all__ = [
+    "ALL_KINDS",
+    "CACHE_LOSS",
+    "DISC_SECTOR_BURST",
+    "DRIVE_HARD",
+    "DRIVE_TRANSIENT",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "OLFS_CRASH",
+    "PLC_ARM_JAM",
+    "PLC_CHANNEL",
+    "RetryPolicy",
+    "SITE_DRIVE_BURN",
+    "SITE_DRIVE_OP",
+    "SITE_PLC_CHANNEL",
+]

@@ -1,0 +1,177 @@
+"""Chaos campaigns: randomized workloads under randomized fault plans.
+
+``run_campaign(seed, ops)`` builds a small rack with a seeded
+:class:`~repro.faults.plan.FaultPlan`, drives a randomized
+write/read/flush workload against it while the injector fires drive,
+disc, PLC, cache and crash faults, then repairs what an administrator
+would repair (recalibrate, reset mechanics, re-flush, scrub) and checks
+the four :mod:`repro.faults.invariants`.
+
+Everything is derived from the one seed — the workload stream, the fault
+plan, the injector's hazard draws and the tracer — so a campaign is a
+pure function of ``(seed, ops, intensity)`` and its JSON report is
+byte-reproducible.  The CLI (``python -m repro chaos``) runs the same
+campaign twice and fails if the two reports differ.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro import units
+from repro.errors import ROSError
+from repro.faults.invariants import check_all
+from repro.faults.plan import FaultPlan
+from repro.olfs.mechanical import ArrayState
+from repro.sim.rng import DeterministicRNG
+
+#: Mean think time between workload operations (simulated seconds).
+THINK_MEAN_SECONDS = 2.0
+
+
+def build_ros(seed: int, plan: FaultPlan):
+    """The campaign rack: the scaled-for-tests rig with tracing + faults."""
+    from repro import OLFSConfig, ROS
+
+    config = OLFSConfig(
+        data_discs_per_array=3,
+        parity_discs_per_array=1,
+        open_buckets=2,
+        read_cache_images=2,
+    ).scaled_for_tests(bucket_capacity=64 * 1024)
+    return ROS(
+        config=config,
+        roller_count=1,
+        buffer_volume_capacity=200 * units.MB,
+        tracing=True,
+        trace_seed=seed,
+        fault_plan=plan,
+        fault_seed=seed,
+    )
+
+
+def _run_workload(ros, rng, ops: int, acked: dict) -> tuple[dict, list]:
+    """Drive ``ops`` randomized operations; return (counters, violations).
+
+    A write only enters ``acked`` once the POSIX layer returned — exactly
+    the set of writes invariant I1 may hold the system to.  Reads verify
+    against ``acked`` as they go; mismatches are violations immediately
+    (an error return is merely an availability event, not data loss).
+    """
+    counters = {
+        "writes": 0,
+        "write_errors": 0,
+        "reads": 0,
+        "read_errors": 0,
+        "read_mismatches": 0,
+        "flushes": 0,
+        "flush_errors": 0,
+    }
+    violations = []
+    for op_index in range(ops):
+        ros.engine.run(until=ros.now + rng.exponential(THINK_MEAN_SECONDS))
+        roll = rng.uniform()
+        if roll < 0.55 or not acked:
+            path = f"/chaos/f{op_index:04d}.bin"
+            size = 4000 + rng.integers(0, 28000)
+            pattern = rng.bytes(16)
+            data = (pattern * (size // len(pattern) + 1))[:size]
+            counters["writes"] += 1
+            try:
+                ros.write(path, data)
+                acked[path] = data
+            except ROSError:
+                counters["write_errors"] += 1
+        elif roll < 0.90:
+            path = rng.choice(sorted(acked))
+            counters["reads"] += 1
+            try:
+                result = ros.read(path)
+                if result.data != acked[path]:
+                    counters["read_mismatches"] += 1
+                    violations.append(
+                        {"path": path, "problem": "mid-campaign mismatch"}
+                    )
+            except ROSError:
+                counters["read_errors"] += 1
+        else:
+            counters["flushes"] += 1
+            try:
+                ros.flush(wait=False)
+            except ROSError:
+                counters["flush_errors"] += 1
+    return counters, violations
+
+
+def _repair(ros) -> None:
+    """What the administrator does after the storm (§4.7 maintenance).
+
+    Recalibrate every sensor suite, un-wedge the mechanics, re-burn
+    whatever failed tasks left on the buffer, and scrub any array whose
+    discs took sector damage so parity repair runs before the audit.
+    """
+    from repro.plc import Calibrate
+
+    for index in range(len(ros.mech.plc.suites)):
+        ros.run(ros.mech.channel.send(Calibrate(index)), "chaos-calibrate")
+    ros.run(ros.mech.reset_after_fault(), "chaos-mech-reset")
+    # Failed burn tasks keep their tray claims; release and retry them.
+    ros.btm._claimed.clear()
+    try:
+        ros.flush(wait=False)
+    except ROSError:
+        pass
+    ros.settle()
+    for key in sorted(ros.mc.da_index):
+        if ros.mc.da_index[key] is not ArrayState.USED:
+            continue
+        roller, address = key
+        tray = ros.mech.rollers[roller].tray_at(address)
+        if any(disc.bad_sectors for disc in tray.discs()):
+            try:
+                ros.run(ros.mi.scrub_array(roller, address), "chaos-scrub")
+            except ROSError:
+                pass
+    ros.settle()
+
+
+def run_campaign(seed: int, ops: int, intensity: float = 1.0) -> dict:
+    """One full chaos campaign; returns the (JSON-safe) report dict."""
+    horizon = max(600.0, ops * 5.0)
+    rng = DeterministicRNG(seed).child("chaos")
+    plan = FaultPlan.randomized(rng.child("plan"), horizon, intensity=intensity)
+    ros = build_ros(seed, plan)
+    injector = ros.fault_injector
+
+    acked: dict = {}
+    counters, violations = _run_workload(
+        ros, rng.child("workload"), ops, acked
+    )
+    # Let the tail of the fault schedule play out, then silence it so the
+    # repair phase and the audit run on a quiet rack.
+    if horizon > ros.now:
+        ros.engine.run(until=horizon)
+    injector.stop()
+    _repair(ros)
+
+    invariants = check_all(ros, acked)
+    ok = not violations and all(inv["ok"] for inv in invariants)
+    return {
+        "seed": seed,
+        "ops": ops,
+        "intensity": intensity,
+        "horizon": horizon,
+        "final_time": round(ros.now, 6),
+        "plan": [spec.to_dict() for spec in plan],
+        "fault_events": injector.log,
+        "acked_files": len(acked),
+        "workload": counters,
+        "workload_violations": violations,
+        "invariants": invariants,
+        "ok": ok,
+    }
+
+
+def report_to_json(report: dict) -> str:
+    """Canonical serialization — byte-comparable across identical runs."""
+    return json.dumps(report, sort_keys=True, separators=(",", ":"))

@@ -1,0 +1,351 @@
+"""The fault injector: interprets a :class:`FaultPlan` against a live rack.
+
+The injector registers on the simulation :class:`~repro.sim.engine.Engine`
+as ``engine.faults`` (every engine starts with the no-op
+:data:`~repro.sim.engine.NULL_FAULTS`), and instrumented sites consult it:
+
+* ``drive.burn`` — checked by :meth:`OpticalDrive.burn` at every segment
+  boundary (one-shot transient burn errors);
+* ``drive.op`` — checked on mount / seek / read / burn (hard-failure
+  windows);
+* ``plc.channel`` — checked by :meth:`ControlChannel.send`.
+
+Scheduled (``at=T``) and hazard-rate faults are driven by engine processes
+spawned from :meth:`start`; *applied* faults (sector bursts, arm jams,
+cache loss, crash/restart) act on the bound OLFS instance directly.  All
+randomness flows through one :class:`~repro.sim.rng.DeterministicRNG`
+sub-stream, so a seeded plan replays byte-identically — the property the
+chaos harness and its regression corpus rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.faults.plan import (
+    CACHE_LOSS,
+    DISC_SECTOR_BURST,
+    DRIVE_HARD,
+    DRIVE_TRANSIENT,
+    FaultPlan,
+    FaultSpec,
+    OLFS_CRASH,
+    PLC_ARM_JAM,
+    PLC_CHANNEL,
+)
+from repro.sim.engine import Delay, Engine, Interrupt
+from repro.sim.rng import DeterministicRNG
+
+#: site keys instrumented components consult via ``engine.faults.check``
+SITE_DRIVE_BURN = "drive.burn"
+SITE_DRIVE_OP = "drive.op"
+SITE_PLC_CHANNEL = "plc.channel"
+
+#: default encoder drift (layers) applied by an arm jam
+DEFAULT_JAM_DRIFT = 3.0
+#: default bad-sector burst length
+DEFAULT_BURST_SECTORS = 4
+#: default crash downtime when a spec does not give one
+DEFAULT_CRASH_DOWNTIME = 30.0
+
+
+class FaultInjector:
+    """Deterministic, seed-driven fault injection over one OLFS instance."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        engine: Engine,
+        plan: Optional[FaultPlan] = None,
+        seed: int = 0xFA17,
+    ):
+        self.engine = engine
+        self.plan = plan or FaultPlan()
+        self.rng = DeterministicRNG(seed).child("fault-injector")
+        self._ros = None
+        #: one-shot faults armed per (site, target); "" target = any
+        self._oneshots: dict[tuple[str, str], list[FaultSpec]] = {}
+        #: windowed faults: (site, target, until, spec)
+        self._windows: list[tuple[str, str, float, FaultSpec]] = []
+        #: arrays already carrying an injected burst (keep each array
+        #: within its parity budget so scrub repair always succeeds)
+        self._corrupted_arrays: set = set()
+        self._drivers: list = []
+        self._active = True
+        #: chronological record of everything injected (campaign report)
+        self.log: list[dict] = []
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def bind(self, ros) -> "FaultInjector":
+        """Attach the OLFS instance applied faults act on."""
+        self._ros = ros
+        return self
+
+    def install(self) -> "FaultInjector":
+        """Register as ``engine.faults`` so sites consult this injector."""
+        self.engine.faults = self
+        return self
+
+    def start(self) -> None:
+        """Spawn one driver process per plan spec."""
+        for index, spec in enumerate(self.plan):
+            process = self.engine.spawn(
+                self._driver(spec), name=f"fault-driver-{index}-{spec.kind}"
+            )
+            self._drivers.append(process)
+
+    def stop(self) -> None:
+        """Silence the injector: no new arrivals, no more site trips."""
+        self._active = False
+        for process in self._drivers:
+            if not process.done:
+                process.interrupt("fault-injector-stop")
+
+    # ------------------------------------------------------------------
+    # Site consultation (hot path: called from drives / PLC channel)
+    # ------------------------------------------------------------------
+    def check(self, site: str, target: str = "") -> Optional[FaultSpec]:
+        """Armed fault for ``site``/``target``?  One-shots are consumed."""
+        if not self._active:
+            return None
+        now = self.engine.now
+        if self._windows:
+            self._windows = [
+                window for window in self._windows if window[2] > now
+            ]
+            for window_site, window_target, _until, spec in self._windows:
+                if window_site == site and window_target in ("", target):
+                    return spec
+        for key in ((site, target), (site, "")):
+            queue = self._oneshots.get(key)
+            if queue:
+                spec = queue.pop(0)
+                self._log("trip", spec.kind, target or key[1])
+                return spec
+        return None
+
+    # ------------------------------------------------------------------
+    # Imperative API (tests and the deprecated drive-flag shim)
+    # ------------------------------------------------------------------
+    def inject(
+        self,
+        kind: str,
+        target: Optional[str] = None,
+        duration: float = 0.0,
+        detail: Optional[dict] = None,
+    ) -> None:
+        """Fire one fault right now (synchronously arms/applies it)."""
+        spec = FaultSpec(
+            kind,
+            at=self.engine.now,
+            target=target,
+            duration=duration,
+            detail=detail or {},
+        )
+        self._apply(spec)
+
+    # ------------------------------------------------------------------
+    # Drivers
+    # ------------------------------------------------------------------
+    def _driver(self, spec: FaultSpec) -> Generator:
+        try:
+            if spec.at is not None:
+                if spec.at > self.engine.now:
+                    yield Delay(spec.at - self.engine.now)
+                if self._active:
+                    self._apply(spec)
+                return
+            fired = 0
+            while spec.count is None or fired < spec.count:
+                gap = self.rng.exponential(1.0 / spec.hazard_rate)
+                if spec.until is not None and self.engine.now + gap > spec.until:
+                    return
+                yield Delay(gap)
+                if not self._active:
+                    return
+                self._apply(spec)
+                fired += 1
+        except Interrupt:
+            return
+
+    # ------------------------------------------------------------------
+    # Applying faults
+    # ------------------------------------------------------------------
+    def _apply(self, spec: FaultSpec) -> None:
+        handler = {
+            DRIVE_TRANSIENT: self._apply_drive_transient,
+            DRIVE_HARD: self._apply_drive_hard,
+            DISC_SECTOR_BURST: self._apply_sector_burst,
+            PLC_CHANNEL: self._apply_channel_fault,
+            PLC_ARM_JAM: self._apply_arm_jam,
+            CACHE_LOSS: self._apply_cache_loss,
+            OLFS_CRASH: self._apply_crash,
+        }[spec.kind]
+        handler(spec)
+
+    def _arm_oneshot(self, site: str, target: str, spec: FaultSpec) -> None:
+        self._oneshots.setdefault((site, target), []).append(spec)
+
+    def _open_window(self, site: str, target: str, spec: FaultSpec) -> None:
+        until = self.engine.now + spec.duration
+        self._windows.append((site, target, until, spec))
+
+    def _apply_drive_transient(self, spec: FaultSpec) -> None:
+        target = spec.target or self._pick_drive_id()
+        self._arm_oneshot(SITE_DRIVE_BURN, target, spec)
+        self._log("arm", spec.kind, target)
+
+    def _apply_drive_hard(self, spec: FaultSpec) -> None:
+        target = spec.target or self._pick_drive_id()
+        if spec.duration > 0:
+            self._open_window(SITE_DRIVE_OP, target, spec)
+        else:
+            self._arm_oneshot(SITE_DRIVE_OP, target, spec)
+        self._log("arm", spec.kind, target, duration=spec.duration)
+
+    def _apply_channel_fault(self, spec: FaultSpec) -> None:
+        if spec.duration > 0:
+            self._open_window(SITE_PLC_CHANNEL, spec.target or "", spec)
+        else:
+            self._arm_oneshot(SITE_PLC_CHANNEL, spec.target or "", spec)
+        self._log("arm", spec.kind, spec.target or "*",
+                  duration=spec.duration)
+
+    def _apply_arm_jam(self, spec: FaultSpec) -> None:
+        suites = self._require_ros().mech.plc.suites
+        index = (
+            int(spec.target)
+            if spec.target is not None
+            else self.rng.integers(0, len(suites))
+        )
+        suite = suites[index]
+        drift = float(spec.detail.get("drift", DEFAULT_JAM_DRIFT))
+        suite.arm_encoder.inject_drift(drift)
+        self._log("apply", spec.kind, str(index), duration=spec.duration)
+        if spec.duration > 0:
+            def recalibrate() -> None:
+                for sensor in suite.all_sensors():
+                    sensor.repair()
+                self._log("repair", spec.kind, str(index))
+
+            self.engine.call_later(spec.duration, recalibrate)
+
+    def _apply_sector_burst(self, spec: FaultSpec) -> None:
+        ros = self._require_ros()
+        record = self._pick_burst_victim(ros, spec.target)
+        if record is None:
+            self._log("skip", spec.kind, spec.target or "-")
+            return
+        disc = self._find_disc(ros, record.disc_id)
+        if disc is None or not disc.tracks:
+            self._log("skip", spec.kind, record.disc_id)
+            return
+        from repro.media.disc import sectors_for
+
+        track = next(
+            (t for t in disc.tracks if t.label == record.image_id),
+            disc.tracks[0],
+        )
+        payload_sectors = max(1, sectors_for(len(track.payload)))
+        burst = int(spec.detail.get("sectors", DEFAULT_BURST_SECTORS))
+        offset = self.rng.integers(0, payload_sectors)
+        sectors = [
+            track.start_sector + (offset + i) % payload_sectors
+            for i in range(min(burst, payload_sectors))
+        ]
+        disc.bad_sectors.update(sectors)
+        self._corrupted_arrays.add(record.array_address)
+        self._log(
+            "apply", spec.kind, record.disc_id, sectors=len(sectors)
+        )
+
+    def _apply_cache_loss(self, spec: FaultSpec) -> None:
+        ros = self._require_ros()
+        dropped = 0
+        for image_id in list(ros.cache.cached_ids()):
+            ros.cache.evict(image_id)
+            dropped += 1
+        file_cache = getattr(ros.ftm, "file_cache", None)
+        if file_cache is not None:
+            from repro.olfs.prefetch import FileGrainCache
+
+            ros.ftm.file_cache = FileGrainCache(file_cache.capacity_bytes)
+        self._log("apply", spec.kind, "read-cache", dropped=dropped)
+
+    def _apply_crash(self, spec: FaultSpec) -> None:
+        ros = self._require_ros()
+        downtime = spec.duration or DEFAULT_CRASH_DOWNTIME
+        self._log("apply", spec.kind, "olfs", duration=downtime)
+        self.engine.spawn(
+            ros.crash_restart(downtime), name="fault-crash-restart"
+        )
+
+    # ------------------------------------------------------------------
+    # Target resolution
+    # ------------------------------------------------------------------
+    def _require_ros(self):
+        if self._ros is None:
+            raise RuntimeError(
+                "FaultInjector.bind(ros) required for applied faults"
+            )
+        return self._ros
+
+    def _pick_drive_id(self) -> str:
+        ros = self._require_ros()
+        drive_ids = sorted(
+            drive.drive_id
+            for drive_set in ros.mech.drive_sets
+            for drive in drive_set.drives
+        )
+        return self.rng.choice(drive_ids)
+
+    def _pick_burst_victim(self, ros, disc_id: Optional[str]):
+        candidates = []
+        for image_id in sorted(ros.dim.records):
+            record = ros.dim.records[image_id]
+            if record.state != "burned" or record.kind != "data":
+                continue
+            if record.disc_id is None or record.array_address is None:
+                continue
+            if disc_id is not None:
+                if record.disc_id == disc_id:
+                    return record
+                continue
+            if record.array_address in self._corrupted_arrays:
+                continue
+            candidates.append(record)
+        if not candidates:
+            return None
+        return self.rng.choice(candidates)
+
+    @staticmethod
+    def _find_disc(ros, disc_id: str):
+        for drive_set in ros.mech.drive_sets:
+            drive = drive_set.find_disc(disc_id)
+            if drive is not None:
+                return drive.disc
+        located = ros.mech.locate_disc(disc_id)
+        if located is not None:
+            roller_id, address = located
+            tray = ros.mech.rollers[roller_id].tray_at(address)
+            for disc in tray.discs():
+                if disc.disc_id == disc_id:
+                    return disc
+        return None
+
+    # ------------------------------------------------------------------
+    def _log(self, event: str, kind: str, target: str, **extra) -> None:
+        entry = {
+            "t": round(self.engine.now, 6),
+            "event": event,
+            "kind": kind,
+            "target": target,
+        }
+        for key in sorted(extra):
+            entry[key] = round(extra[key], 6) if isinstance(
+                extra[key], float
+            ) else extra[key]
+        self.log.append(entry)

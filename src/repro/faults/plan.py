@@ -1,0 +1,199 @@
+"""Fault taxonomy and declarative fault plans.
+
+A :class:`FaultPlan` is a list of :class:`FaultSpec` entries, each naming a
+fault *kind* from the taxonomy below plus either a scheduled simulated time
+(``at``) or a seeded hazard rate (``hazard_rate``, faults per simulated
+second, drawn as a Poisson process).  The plan is pure data — the
+:class:`~repro.faults.injector.FaultInjector` interprets it against a live
+system — so plans serialize deterministically and replay byte-identically.
+
+Taxonomy
+--------
+``drive.burn_transient``
+    The targeted drive's next burn fails mid-write (a bad disc or a
+    transient write error); exercises the DAindex Failed + fresh-tray path.
+``drive.hard_failure``
+    The drive's electronics die for ``duration`` seconds: every mount,
+    seek, read or burn segment raises :class:`~repro.errors.DriveError`
+    until the window closes (an operator swaps the drive).
+``disc.sector_burst``
+    A burst of ``detail["sectors"]`` payload sectors on one burned disc
+    goes bad (scratch / bit rot), recoverable through the §4.7 scrub +
+    parity-rebuild path.
+``plc.channel_fault``
+    The SC <-> PLC control link errors: sends during the window (or the
+    next send, if ``duration`` is 0) raise
+    :class:`~repro.errors.PLCFaultError`.
+``plc.arm_jam``
+    The robotic arm's encoder drifts (a jam / miscalibration); feedback
+    checks fail until the window closes (auto-recalibration) or an explicit
+    ``Calibrate`` instruction repairs the sensors.
+``cache.device_loss``
+    The read-cache device is lost: every cached image (and any file-grain
+    cache) is dropped; subsequent reads go back to the discs.
+``olfs.crash_restart``
+    OLFS crashes mid-burn and restarts after ``duration`` seconds of
+    downtime: burning arrays stop at their next segment boundary (prefixes
+    survive as POW tracks), volatile caches flush, and parked burns resume
+    in appending mode after the restart.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+DRIVE_TRANSIENT = "drive.burn_transient"
+DRIVE_HARD = "drive.hard_failure"
+DISC_SECTOR_BURST = "disc.sector_burst"
+PLC_CHANNEL = "plc.channel_fault"
+PLC_ARM_JAM = "plc.arm_jam"
+CACHE_LOSS = "cache.device_loss"
+OLFS_CRASH = "olfs.crash_restart"
+
+#: Every fault kind the injector understands.
+ALL_KINDS = (
+    DRIVE_TRANSIENT,
+    DRIVE_HARD,
+    DISC_SECTOR_BURST,
+    PLC_CHANNEL,
+    PLC_ARM_JAM,
+    CACHE_LOSS,
+    OLFS_CRASH,
+)
+
+
+@dataclass
+class FaultSpec:
+    """One planned fault: what, whom, when (or how often), for how long."""
+
+    kind: str
+    #: fire once at this simulated time (mutually exclusive with hazard_rate)
+    at: Optional[float] = None
+    #: expected faults per simulated second (Poisson arrivals)
+    hazard_rate: Optional[float] = None
+    #: drive id / disc id / suite index as a string; None lets the
+    #: injector pick a deterministic target from the live system
+    target: Optional[str] = None
+    #: fault window length in seconds (hard failures, jams, crash downtime);
+    #: 0 means a one-shot fault consumed by the next matching operation
+    duration: float = 0.0
+    #: cap on hazard-rate firings (None = bounded only by ``until``)
+    count: Optional[int] = None
+    #: hazard arrivals past this simulated time are not drawn
+    until: Optional[float] = None
+    #: kind-specific knobs (e.g. {"sectors": 4} for a burst)
+    detail: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.kind not in ALL_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if (self.at is None) == (self.hazard_rate is None):
+            raise ValueError(
+                f"{self.kind}: exactly one of 'at' or 'hazard_rate' required"
+            )
+        if self.hazard_rate is not None and self.hazard_rate <= 0:
+            raise ValueError(f"{self.kind}: hazard_rate must be positive")
+        if self.at is not None and self.at < 0:
+            raise ValueError(f"{self.kind}: 'at' must be non-negative")
+        if self.duration < 0:
+            raise ValueError(f"{self.kind}: duration must be non-negative")
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "at": self.at,
+            "hazard_rate": self.hazard_rate,
+            "target": self.target,
+            "duration": self.duration,
+            "count": self.count,
+            "until": self.until,
+            "detail": self.detail,
+        }
+
+
+class FaultPlan:
+    """An ordered collection of fault specs, built declaratively."""
+
+    def __init__(self, specs: Iterable[FaultSpec] = ()):
+        self.specs: list[FaultSpec] = list(specs)
+
+    def add(self, kind: str, **kwargs) -> FaultSpec:
+        """Append a spec (``at`` defaults to 0.0 if no timing given)."""
+        if "at" not in kwargs and "hazard_rate" not in kwargs:
+            kwargs["at"] = 0.0
+        spec = FaultSpec(kind, **kwargs)
+        self.specs.append(spec)
+        return spec
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __iter__(self):
+        return iter(self.specs)
+
+    def to_json(self) -> str:
+        """Deterministic JSON (the campaign report embeds this)."""
+        return json.dumps(
+            [spec.to_dict() for spec in self.specs],
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def randomized(
+        cls,
+        rng,
+        horizon: float,
+        intensity: float = 1.0,
+    ) -> "FaultPlan":
+        """A seeded mixed-fault schedule over ``[0, horizon]`` sim seconds.
+
+        ``rng`` is a :class:`~repro.sim.rng.DeterministicRNG`; identical
+        seeds produce identical plans.  ``intensity`` scales every hazard
+        rate.  Every hazard spec is bounded by ``horizon`` so injector
+        driver processes terminate and the engine can drain.
+        """
+        plan = cls()
+        # Transient burn errors: the most common fault in a burning rack.
+        plan.add(
+            DRIVE_TRANSIENT,
+            hazard_rate=intensity * 2.0 / max(horizon, 1.0),
+            until=horizon,
+        )
+        # One hard drive failure window somewhere in the run.
+        plan.add(
+            DRIVE_HARD,
+            at=rng.uniform(0.1, max(horizon * 0.6, 0.2)),
+            duration=rng.uniform(20.0, 120.0),
+        )
+        # Media decay: occasional sector bursts on burned discs.
+        plan.add(
+            DISC_SECTOR_BURST,
+            hazard_rate=intensity * 1.5 / max(horizon, 1.0),
+            until=horizon,
+            detail={"sectors": 2 + rng.integers(0, 4)},
+        )
+        # Control-path glitches.
+        plan.add(
+            PLC_CHANNEL,
+            hazard_rate=intensity * 1.0 / max(horizon, 1.0),
+            until=horizon,
+            duration=rng.uniform(0.0, 5.0),
+        )
+        plan.add(
+            PLC_ARM_JAM,
+            at=rng.uniform(0.1, max(horizon * 0.8, 0.2)),
+            duration=rng.uniform(10.0, 60.0),
+        )
+        # Cache device loss once per run.
+        plan.add(CACHE_LOSS, at=rng.uniform(0.1, max(horizon, 0.2)))
+        # One crash/restart, biased toward the middle of the run where
+        # burns are most likely to be in flight.
+        plan.add(
+            OLFS_CRASH,
+            at=rng.uniform(max(horizon * 0.2, 0.1), max(horizon * 0.9, 0.2)),
+            duration=rng.uniform(10.0, 45.0),
+        )
+        return plan

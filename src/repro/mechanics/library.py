@@ -306,6 +306,92 @@ class MechanicalSubsystem:
         finally:
             grant.release()
 
+    @staticmethod
+    def _home_of_disc(disc_id: str) -> Optional[TrayAddress]:
+        """Parse the home tray out of a ``populate_blank`` disc id."""
+        import re
+
+        match = re.fullmatch(r"r\d+-l(\d+)-s(\d+)-d\d+", disc_id)
+        if match is None:
+            return None
+        return TrayAddress(int(match.group(1)), int(match.group(2)))
+
+    def reset_after_fault(self, priority: int = 0) -> Generator:
+        """Return the mechanics to a consistent state after an aborted
+        load/unload (a PLC fault or arm jam mid-sequence).
+
+        Models the PLC's automatic fault-recovery routine: any disc stack
+        stranded on an arm goes back to its tray, fanned-out trays close,
+        hooks release, and a partially loaded/unloaded drive set is fully
+        emptied back home.  No-op when every pair is already consistent.
+        """
+        for roller_index, (roller, arm) in enumerate(
+            zip(self.rollers, self.arms)
+        ):
+            if not (
+                roller.fanned_out is not None or arm.hooked or arm.holding
+            ):
+                continue
+            grant = yield Acquire(self._arm_locks[roller_index], priority)
+            try:
+                yield Delay(self.timings.fan_in)
+                if arm.holding and roller.fanned_out is None:
+                    # Aborted mid-unload (stack collected, tray not yet
+                    # reached) or mid-separation: gather the rest of the
+                    # faulted set's discs and send everything home.  The
+                    # home tray is recovered from the held discs' ids
+                    # (populate_blank encodes it) or the set's record.
+                    stack = list(arm.holding)
+                    arm.holding = []
+                    home = self._home_of_disc(stack[0].disc_id)
+                    for drive_set in self.sets_of_roller(roller_index):
+                        if drive_set.is_busy:
+                            continue
+                        loaded = drive_set.loaded_from
+                        if loaded is not None and loaded[1] != home:
+                            continue  # a healthy idle set; leave it be
+                        if not any(
+                            d.disc is not None for d in drive_set.drives
+                        ):
+                            continue
+                        if home is None and loaded is not None:
+                            home = loaded[1]
+                        for drive in drive_set.drives:
+                            if drive.disc is None:
+                                continue
+                            drive.open_tray()
+                            stack.append(drive.remove_disc())
+                            drive.close_tray()
+                        drive_set.loaded_from = None
+                    if home is None:
+                        home = next(
+                            (
+                                address
+                                for address in self.geometry.addresses()
+                                if roller.tray_at(address).checked_out
+                                and roller.tray_at(address).is_empty
+                            ),
+                            None,
+                        )
+                    if home is not None:
+                        tray = roller.tray_at(home)
+                        if not tray.checked_out:
+                            tray.checked_out = True
+                        tray.put_back(stack)
+                elif roller.fanned_out is not None:
+                    tray = roller.tray_at(roller.fanned_out)
+                    if arm.holding:
+                        stack = list(arm.holding)
+                        arm.holding = []
+                        if not tray.checked_out:
+                            tray.checked_out = True
+                        tray.put_back(stack)
+                    roller._fanned_out = None
+                    roller.aligned = False
+                arm.hooked = False
+            finally:
+                grant.release()
+
     def swap_array(
         self,
         set_id: int,

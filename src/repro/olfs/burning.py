@@ -25,7 +25,7 @@ from repro.olfs.mechanical import (
     MechanicalController,
     PRIORITY_BURN,
 )
-from repro.sim.engine import Engine, Spawn, Wait
+from repro.sim.engine import Delay, Engine, Spawn, Wait
 from repro.storage.scheduler import IOStreamScheduler, StreamKind
 from repro.udf.image import DiscImage
 
@@ -99,6 +99,7 @@ class BurnTask:
             real_prefix: dict[str, int] = {}
             attempts = 0
             tray_failures = 0
+            retry_backoffs = list(config.burn_retry.delays())
             while True:
                 attempts += 1
                 if attempts > 16:
@@ -120,6 +121,14 @@ class BurnTask:
                     real_prefix.clear()
                     if tray_failures >= 3:
                         raise
+                    # Back off before retrying on a fresh tray: a drive
+                    # hard-failure window should pass, not be hammered.
+                    if retry_backoffs:
+                        backoff = retry_backoffs[
+                            min(tray_failures - 1, len(retry_backoffs) - 1)
+                        ]
+                        if backoff > 0:
+                            yield Delay(backoff)
                     continue
                 if finished:
                     break
@@ -275,7 +284,23 @@ class BurnTask:
                         dim.evict_content(image.image_id)
             # Return the discs to their tray either way: on interrupt the
             # array must leave the drives for the urgent read (§4.8).
-            yield from mech.unload_array(self.set_id, priority=PRIORITY_BURN)
+            try:
+                yield from mech.unload_array(
+                    self.set_id, priority=PRIORITY_BURN
+                )
+            except ROSError:
+                if not all_done:
+                    raise
+                # The array is already committed (records burned, DAindex
+                # Used) — a fault while putting it away must not condemn
+                # the tray and re-burn valid discs.  Leave the discs where
+                # the fault stranded them; the next unload or a mechanical
+                # reset returns them home.
+                self.engine.trace.event(
+                    "btm.unload_fault_after_commit",
+                    "btm",
+                    {"task_id": self.task_id},
+                )
             return all_done
         finally:
             if mc.burn_task_of_set.get(self.set_id) is self:

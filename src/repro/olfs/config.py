@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro import units
+from repro.faults.policy import RetryPolicy
 from repro.media.disc import BD25, DiscType
 
 
@@ -84,6 +85,27 @@ class OLFSConfig:
     #: blank-tray allocation: 'sequential' (top-down fill), 'nearest'
     #: (minimize arm travel from its current layer), 'random'
     tray_allocation: str = "sequential"
+
+    # -- fault tolerance (repro.faults) -----------------------------------
+    #: backoff between burn-task retry rounds after a drive/media error
+    burn_retry: RetryPolicy = field(
+        default_factory=lambda: RetryPolicy(
+            attempts=4, base_delay=2.0, multiplier=2.0, max_delay=60.0
+        )
+    )
+    #: retries for mechanical fetches (drive/PLC errors; media errors
+    #: propagate so reads fall through to scrub + parity repair)
+    fetch_retry: RetryPolicy = field(
+        default_factory=lambda: RetryPolicy(
+            attempts=3, base_delay=1.0, multiplier=2.0, max_delay=30.0
+        )
+    )
+    #: retries for recovery scans (MV rebuild reads burned discs)
+    recovery_retry: RetryPolicy = field(
+        default_factory=lambda: RetryPolicy(
+            attempts=3, base_delay=1.0, multiplier=2.0, max_delay=30.0
+        )
+    )
 
     # -- calibrated software-path costs (Table 1 decomposition) -----------
     #: MV index lookup / update on the SSD RAID-1 (ext4, direct I/O)

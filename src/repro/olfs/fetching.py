@@ -20,7 +20,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Generator, Optional, TYPE_CHECKING
 
-from repro.errors import FileNotFoundOLFSError, FilesystemError
+from repro.errors import (
+    DriveError,
+    FileNotFoundOLFSError,
+    FilesystemError,
+    MechanicsError,
+)
 from repro.olfs.bucket import WritingBucketManager
 from repro.olfs.cache import ReadCache
 from repro.olfs.config import OLFSConfig
@@ -149,6 +154,36 @@ class FetchController:
         return FetchResult(entry.data, "buffer", mechanical=False)
 
     def _read_from_disc(self, record, path: str, priority: int) -> Generator:
+        """Cases 3-6, under the fetch retry policy.
+
+        Drive and mechanics errors (including injected PLC faults) are
+        retried with backoff after a mechanical reset; media errors
+        (:class:`~repro.errors.SectorError`) propagate immediately so the
+        caller can fall through to the scrub + parity-repair path.
+        """
+        last_error = None
+        for attempt, backoff in self.config.fetch_retry.schedule():
+            try:
+                result = yield from self._read_from_disc_once(
+                    record, path, priority
+                )
+                return result
+            except (DriveError, MechanicsError) as error:
+                last_error = error
+                self.engine.trace.event(
+                    "ftm.fetch_retry",
+                    "ftm",
+                    {"image_id": record.image_id, "attempt": attempt},
+                )
+                yield from self.mc.mech.reset_after_fault(priority)
+                if backoff is None:
+                    raise
+                yield Delay(backoff)
+        raise last_error  # pragma: no cover — schedule() always raises first
+
+    def _read_from_disc_once(
+        self, record, path: str, priority: int
+    ) -> Generator:
         """Cases 3-6: the disc itself, maybe via mechanical operations."""
         self.fetch_tasks += 1
         was_in_drive = any(

@@ -28,7 +28,7 @@ from repro.olfs.mechanical import MechanicalController
 from repro.olfs.metadata import MetadataVolume
 from repro.olfs.posix import OpTrace, POSIXInterface, ReadResult
 from repro.olfs.recovery import RecoveryManager
-from repro.sim.engine import Engine, Wait
+from repro.sim.engine import Delay, Engine, Wait
 from repro.sim.tracing import MetricsRegistry, Tracer
 from repro.storage.scheduler import IOStreamScheduler
 from repro.storage.volume import Volume
@@ -60,6 +60,8 @@ class OLFS:
         parallel_scheduling: bool = False,
         tracing: bool = False,
         trace_seed: int = 0x7ACE,
+        fault_plan=None,
+        fault_seed: int = 0xFA17,
     ):
         self.engine = engine or Engine()
         self.config = config or OLFSConfig()
@@ -185,6 +187,21 @@ class OLFS:
             self.cache,
         )
 
+        # -- fault injection (repro.faults) --------------------------------
+        # A plan (even an empty one, for imperative injection) installs a
+        # seeded injector as ``engine.faults``; instrumented sites in the
+        # drives and the PLC channel consult it.
+        self.fault_injector = None
+        if fault_plan is not None:
+            from repro.faults.injector import FaultInjector
+
+            self.fault_injector = (
+                FaultInjector(self.engine, fault_plan, seed=fault_seed)
+                .bind(self)
+                .install()
+            )
+            self.fault_injector.start()
+
     # ------------------------------------------------------------------
     # Synchronous facade (advances the simulated clock)
     # ------------------------------------------------------------------
@@ -248,6 +265,45 @@ class OLFS:
     def drain_background(self) -> None:
         """Run the engine until every background process settles."""
         self.engine.run()
+
+    def settle(self, max_rounds: int = 50) -> None:
+        """Drain background work, resuming any parked burns, until idle.
+
+        A burn parked by the §4.8 interrupt policy waits for an explicit
+        resume; a bare ``drain_background`` would leave it (and the
+        engine) suspended forever.  Campaigns call this instead.
+        """
+        for _ in range(max_rounds):
+            self.engine.run()
+            if self.btm.interrupted_tasks:
+                self.btm.resume_interrupted()
+                continue
+            break
+
+    def crash_restart(self, downtime: float = 30.0) -> Generator:
+        """Crash OLFS mid-burn; restart after ``downtime`` seconds (§4.2).
+
+        Burning arrays stop at their next segment boundary — the burned
+        prefixes survive as POW tracks — then the rack sits dark for the
+        downtime.  On restart the MV state is reloaded from its serialized
+        form (it lives on the SSD RAID-1, so nothing is lost) and parked
+        burns resume in appending mode.
+        """
+        for task in list(self.btm.active_tasks):
+            if task.state == "burning":
+                task.request_interrupt()
+        yield Delay(downtime)
+        self.mv.load_snapshot(self.mv.serialize_snapshot())
+        # Restart: keep nudging parked burns until none are waiting.
+        for _ in range(100):
+            if self.btm.interrupted_tasks:
+                self.btm.resume_interrupted()
+            pending = self.btm.interrupted_tasks or any(
+                task.interrupt_requested for task in self.btm.active_tasks
+            )
+            if not pending:
+                return
+            yield Delay(5.0)
 
     # ------------------------------------------------------------------
     # Recovery / maintenance passthroughs

@@ -19,7 +19,7 @@ import itertools
 import json
 from typing import Generator, Optional
 
-from repro.errors import FilesystemError
+from repro.errors import DriveError, FilesystemError, MechanicsError
 from repro.mechanics.geometry import TrayAddress
 from repro.olfs.bucket import LINK_SUFFIX, WritingBucketManager
 from repro.olfs.burning import BurnController, BurnTask
@@ -28,7 +28,7 @@ from repro.olfs.images import DiscImageManager
 from repro.olfs.index import IndexFile, VersionEntry
 from repro.olfs.mechanical import ArrayState, MechanicalController, PRIORITY_FETCH
 from repro.olfs.metadata import MetadataVolume
-from repro.sim.engine import Engine, Join
+from repro.sim.engine import Delay, Engine, Join
 from repro.udf.entry import FileEntry
 from repro.udf.filesystem import UDFFileSystem
 from repro.udf.image import DiscImage
@@ -144,8 +144,11 @@ class RecoveryManager:
             images = self.mc.array_images.get((roller, address), [])
             if not any(image_id.startswith("mv-") for image_id in images):
                 continue
-            discs_read += yield from self._scan_array_for_chunks(
-                roller, address, chunks, meta
+            discs_read += yield from self._with_retries(
+                lambda: self._scan_array_for_chunks(
+                    roller, address, chunks, meta
+                ),
+                "scan-array",
             )
 
         def complete(snapshot_id: int) -> bool:
@@ -180,6 +183,28 @@ class RecoveryManager:
         self.mv.clear_change_tracking()
         self._last_checkpoint_id = applied
         return applied, discs_read
+
+    def _with_retries(self, factory, label: str) -> Generator:
+        """Run ``factory()`` (a fresh generator per attempt) under the
+        recovery retry policy, resetting the mechanics between attempts.
+        Drive/mechanics faults are retried; media errors propagate."""
+        last_error = None
+        for attempt, backoff in self.config.recovery_retry.schedule():
+            try:
+                result = yield from factory()
+                return result
+            except (DriveError, MechanicsError) as error:
+                last_error = error
+                self.engine.trace.event(
+                    "recovery.retry",
+                    "recovery",
+                    {"op": label, "attempt": attempt},
+                )
+                yield from self.mc.mech.reset_after_fault(PRIORITY_FETCH)
+                if backoff is None:
+                    raise
+                yield Delay(backoff)
+        raise last_error  # pragma: no cover — schedule() raises on last
 
     def _scan_array_for_chunks(
         self,
@@ -302,33 +327,45 @@ class RecoveryManager:
         :meth:`reconstruct_namespace` for the full §4.4 disaster path.
         """
         collected: list[DiscImage] = []
-        mech = self.mc.mech
         for (roller, address), state in sorted(self.mc.da_index.items()):
             if state is not ArrayState.USED:
                 continue
-            set_id = self.mc.pick_set_for_burn(roller)
-            grant = yield from self.mc.acquire_set(set_id, PRIORITY_FETCH)
-            try:
-                drive_set = mech.drive_sets[set_id]
-                if not drive_set.is_empty:
-                    yield from mech.unload_array(
-                        set_id, priority=PRIORITY_FETCH
+            collected.extend(
+                (
+                    yield from self._with_retries(
+                        lambda: self._collect_array(roller, address),
+                        "collect-array",
                     )
-                yield from mech.load_array(
-                    set_id, address, priority=PRIORITY_FETCH
                 )
-                for drive in drive_set.drives:
-                    disc = drive.disc
-                    if disc is None or not disc.tracks:
-                        continue
-                    header = DiscImage.peek_header(disc.read_track(0))
-                    if header.get("kind") != "data":
-                        continue
-                    yield from drive.mount()
-                    yield from drive.seek()
-                    yield from drive.read_bytes(disc.tracks[0].logical_size)
-                    collected.append(DiscImage.deserialize(disc.read_track(0)))
-                yield from mech.unload_array(set_id, priority=PRIORITY_FETCH)
-            finally:
-                grant.release()
+            )
         return collected
+
+    def _collect_array(self, roller: int, address: TrayAddress) -> Generator:
+        mech = self.mc.mech
+        collected: list[DiscImage] = []
+        set_id = self.mc.pick_set_for_burn(roller)
+        grant = yield from self.mc.acquire_set(set_id, PRIORITY_FETCH)
+        try:
+            drive_set = mech.drive_sets[set_id]
+            if not drive_set.is_empty:
+                yield from mech.unload_array(
+                    set_id, priority=PRIORITY_FETCH
+                )
+            yield from mech.load_array(
+                set_id, address, priority=PRIORITY_FETCH
+            )
+            for drive in drive_set.drives:
+                disc = drive.disc
+                if disc is None or not disc.tracks:
+                    continue
+                header = DiscImage.peek_header(disc.read_track(0))
+                if header.get("kind") != "data":
+                    continue
+                yield from drive.mount()
+                yield from drive.seek()
+                yield from drive.read_bytes(disc.tracks[0].logical_size)
+                collected.append(DiscImage.deserialize(disc.read_track(0)))
+            yield from mech.unload_array(set_id, priority=PRIORITY_FETCH)
+            return collected
+        finally:
+            grant.release()

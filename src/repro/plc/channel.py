@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Generator, TYPE_CHECKING
 
+from repro.errors import PLCFaultError
 from repro.plc.instructions import Instruction
 from repro.sim.engine import Delay, Engine
 
@@ -38,6 +39,12 @@ class ControlChannel:
     def send(self, instruction: Instruction) -> Generator:
         """Transmit and execute one instruction; returns its result."""
         yield Delay(self.command_latency)
+        fault = self.engine.faults.check("plc.channel")
+        if fault is not None:
+            raise PLCFaultError(
+                f"control link error sending {instruction.mnemonic} "
+                f"(injected {fault.kind})"
+            )
         self.commands_sent += 1
         self.log.append((self.engine.now, instruction.mnemonic))
         result = yield from self.plc.execute(instruction)

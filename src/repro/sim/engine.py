@@ -288,6 +288,23 @@ class Process:
         return f"<Process {self.name} {state}>"
 
 
+class _NullFaults:
+    """No-op fault hook: instrumented sites see a fault-free system.
+
+    Defined here (not in :mod:`repro.faults`) because the real
+    :class:`~repro.faults.injector.FaultInjector` imports this module;
+    mirroring the ``NULL_TRACER`` pattern keeps the dependency one-way.
+    """
+
+    enabled = False
+
+    def check(self, site: str, target: str = ""):
+        return None
+
+
+NULL_FAULTS = _NullFaults()
+
+
 class Engine:
     """The discrete-event simulator: clock, heap and process scheduler."""
 
@@ -301,11 +318,25 @@ class Engine:
         self.current_process: Optional[Process] = None
         #: tracer hook; replace with :class:`repro.sim.tracing.Tracer`
         self.trace = NULL_TRACER
+        #: fault hook; replace with :class:`repro.faults.FaultInjector`
+        self.faults = NULL_FAULTS
 
     @property
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    @property
+    def is_idle(self) -> bool:
+        """No live processes and no pending timers: the engine has drained.
+
+        The chaos-campaign "no deadlock" invariant checks this after a
+        full ``run()``; a stuck process (live but unscheduled) keeps
+        ``_active`` positive with an empty heap.
+        """
+        if self._active != 0:
+            return False
+        return not any(not timer.cancelled for _t, _s, timer in self._heap)
 
     # ------------------------------------------------------------------
     # Timers

@@ -22,8 +22,15 @@ def make_ros(
     buffer_volume_capacity=200 * units.MB,
     tracing=False,
     trace_seed=0x7ACE,
+    fault_plan=None,
+    fault_seed=0xFA17,
 ):
-    """A small ROS rack: tiny buckets so burns complete in simulated minutes."""
+    """A small ROS rack: tiny buckets so burns complete in simulated minutes.
+
+    Passing ``fault_plan`` (even an empty ``FaultPlan()``) installs a
+    seeded :class:`repro.faults.FaultInjector` as ``ros.fault_injector``
+    for scheduled or imperative fault injection.
+    """
     config = OLFSConfig(
         data_discs_per_array=data_discs,
         parity_discs_per_array=parity_discs,
@@ -43,7 +50,34 @@ def make_ros(
         io_policy=io_policy,
         tracing=tracing,
         trace_seed=trace_seed,
+        fault_plan=fault_plan,
+        fault_seed=fault_seed,
     )
+
+
+def write_batch(ros, count=8, size=20000, prefix="/inj"):
+    """Write ``count`` distinct files; returns ``{path: payload}``."""
+    payloads = {}
+    for index in range(count):
+        path = f"{prefix}/f{index:02d}.bin"
+        payloads[path] = bytes([(index + 1) % 251]) * size
+        ros.write(path, payloads[path])
+    return payloads
+
+
+def fill_and_burn(ros, files=12, size=30000, prefix="/data"):
+    """Write enough data to close buckets and trigger array burns."""
+    payloads = write_batch(ros, count=files, size=size, prefix=prefix)
+    ros.flush()
+    return payloads
+
+
+def populated(files=12, size=20000, prefix="/archive/y2026", **kwargs):
+    """A freshly built rack with ``files`` burned files on it."""
+    ros = make_ros(**kwargs)
+    payloads = write_batch(ros, count=files, size=size, prefix=prefix)
+    ros.flush()
+    return ros, payloads
 
 
 @pytest.fixture

@@ -1,0 +1,63 @@
+"""Chaos campaigns: seeded determinism and the four invariants.
+
+The campaign harness (:mod:`repro.faults.campaign`) must be a pure
+function of its seed — the property test replays randomized fault plans
+byte-for-byte, and the regression corpus pins a handful of seeds whose
+campaigns must keep satisfying all four invariants as the code evolves.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import ALL_KINDS, FaultPlan
+from repro.faults.campaign import report_to_json, run_campaign
+from repro.sim.rng import DeterministicRNG
+
+#: Fixed seeds the chaos campaign must keep passing on (CI runs these).
+CORPUS_SEEDS = [7, 11, 23, 42, 1337]
+
+
+# ----------------------------------------------------------------------
+# Seeded replay (hypothesis)
+# ----------------------------------------------------------------------
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    horizon=st.floats(min_value=100.0, max_value=1e6),
+    intensity=st.floats(min_value=0.1, max_value=8.0),
+)
+@settings(max_examples=50, deadline=None)
+def test_randomized_plan_replays_byte_identically(seed, horizon, intensity):
+    plans = [
+        FaultPlan.randomized(
+            DeterministicRNG(seed).child("plan"), horizon, intensity=intensity
+        )
+        for _ in range(2)
+    ]
+    assert plans[0].to_json() == plans[1].to_json()
+    assert len(plans[0]) == len(ALL_KINDS)
+    for spec in plans[0]:
+        assert spec.kind in ALL_KINDS
+
+
+def test_campaign_replay_is_byte_identical():
+    reports = [report_to_json(run_campaign(7, ops=30)) for _ in range(2)]
+    assert reports[0] == reports[1]
+    # The canonical form parses back and carries the full audit.
+    report = json.loads(reports[0])
+    assert len(report["invariants"]) == 4
+
+
+# ----------------------------------------------------------------------
+# Regression corpus
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", CORPUS_SEEDS)
+def test_corpus_campaign_invariants_hold(seed):
+    report = run_campaign(seed, ops=30)
+    assert len(report["plan"]) == len(ALL_KINDS)
+    assert not report["workload_violations"]
+    failed = [inv for inv in report["invariants"] if not inv["ok"]]
+    assert not failed, failed
+    assert report["ok"]

@@ -1,29 +1,33 @@
-"""Failure injection: bad burns, dead devices, PLC faults, crash recovery."""
+"""Failure injection: bad burns, dead devices, PLC faults, crash recovery.
+
+Faults are injected through :mod:`repro.faults` — a seeded
+``FaultInjector`` installed on the engine — rather than by poking device
+flags.  The legacy ``inject_burn_failure`` flag survives as a deprecated
+shim (tested below) for external callers.
+"""
 
 import pytest
 
 from repro.errors import PLCFaultError, ROSError
+from repro.faults import DRIVE_HARD, DRIVE_TRANSIENT, FaultPlan
 from repro.olfs.mechanical import ArrayState
-from tests.conftest import make_ros
+from tests.conftest import make_ros, write_batch
 
 
-def write_batch(ros, count=8, size=20000, prefix="/inj"):
-    payloads = {}
-    for index in range(count):
-        path = f"{prefix}/f{index:02d}.bin"
-        payloads[path] = bytes([index + 5]) * size
-        ros.write(path, payloads[path])
-    return payloads
+def make_faulty_ros(**kwargs):
+    """A rack with an (empty) fault plan: imperative injection enabled."""
+    return make_ros(fault_plan=FaultPlan(), **kwargs)
 
 
 # ----------------------------------------------------------------------
 # Burn failures (DAindex Failed + retry on a fresh tray)
 # ----------------------------------------------------------------------
 def test_burn_failure_retries_on_fresh_tray():
-    ros = make_ros(auto_burn=False)
+    ros = make_faulty_ros(auto_burn=False)
     payloads = write_batch(ros)
     # The first drive of the only set fails its next burn.
-    ros.mech.drive_sets[0].drives[0].inject_burn_failure = True
+    drive = ros.mech.drive_sets[0].drives[0]
+    ros.fault_injector.inject(DRIVE_TRANSIENT, target=drive.drive_id)
     ros.flush()
     counts = ros.mc.counts()
     assert counts["Failed"] == 1
@@ -43,9 +47,10 @@ def test_burn_failure_retries_on_fresh_tray():
 
 
 def test_burn_failure_marks_tray_failed_and_skips_it():
-    ros = make_ros(auto_burn=False)
+    ros = make_faulty_ros(auto_burn=False)
     write_batch(ros)
-    ros.mech.drive_sets[0].drives[1].inject_burn_failure = True
+    drive = ros.mech.drive_sets[0].drives[1]
+    ros.fault_injector.inject(DRIVE_TRANSIENT, target=drive.drive_id)
     ros.flush()
     failed = [
         (roller, address)
@@ -62,14 +67,14 @@ def test_burn_failure_marks_tray_failed_and_skips_it():
 
 
 def test_three_consecutive_burn_failures_fail_the_task():
-    ros = make_ros(auto_burn=False)
+    ros = make_faulty_ros(auto_burn=False)
     write_batch(ros, count=4)
     drive = ros.mech.drive_sets[0].drives[0]
     # Re-arm the fault as soon as each burn consumes it.
     original_burn = drive.burn
 
     def rearming_burn(*args, **kwargs):
-        drive.inject_burn_failure = True
+        ros.fault_injector.inject(DRIVE_TRANSIENT, target=drive.drive_id)
         return original_burn(*args, **kwargs)
 
     drive.burn = rearming_burn
@@ -80,6 +85,38 @@ def test_three_consecutive_burn_failures_fail_the_task():
     task, error = ros.btm.failed_tasks[0]
     assert isinstance(error, ROSError)
     assert ros.mc.counts()["Failed"] == 3
+
+
+def test_drive_hard_failure_window_expires():
+    """A DRIVE_HARD window fails the drive for its duration, then clears."""
+    ros = make_faulty_ros(auto_burn=False)
+    write_batch(ros, count=4)
+    drive = ros.mech.drive_sets[0].drives[0]
+    ros.fault_injector.inject(
+        DRIVE_HARD, target=drive.drive_id, duration=30.0
+    )
+    fault = ros.engine.faults.check("drive.op", drive.drive_id)
+    assert fault is not None and fault.kind == DRIVE_HARD
+    ros.engine.run(until=ros.now + 31.0)
+    assert ros.engine.faults.check("drive.op", drive.drive_id) is None
+    # The rack still burns fine once the window has passed.
+    ros.flush()
+    assert ros.mc.counts()["Used"] >= 1
+
+
+# ----------------------------------------------------------------------
+# Legacy flag shim (deprecated, kept for external callers)
+# ----------------------------------------------------------------------
+def test_legacy_inject_burn_failure_shim_warns_and_works():
+    ros = make_ros(auto_burn=False)
+    write_batch(ros, count=4)
+    drive = ros.mech.drive_sets[0].drives[0]
+    with pytest.warns(DeprecationWarning, match="inject_burn_failure"):
+        drive.inject_burn_failure = True
+    assert drive.inject_burn_failure is True
+    ros.flush()
+    assert ros.mc.counts()["Failed"] == 1
+    assert not drive.inject_burn_failure  # consumed by the failed burn
 
 
 # ----------------------------------------------------------------------
@@ -150,7 +187,7 @@ def test_state_checkpoint_roundtrip():
 
 def test_interrupt_then_failure_combination():
     """An interrupted burn that later hits a bad disc still converges."""
-    ros = make_ros(
+    ros = make_faulty_ros(
         bucket_capacity=16 * 1024 * 1024,
         busy_drive_policy="interrupt",
         forepart_enabled=False,
@@ -173,7 +210,8 @@ def test_interrupt_then_failure_combination():
     result = ros.read("/old/f0.bin")
     assert result.data == b"o" * 300_000
     # ...then fail a drive on the resumed burn.
-    ros.mech.drive_sets[0].drives[2].inject_burn_failure = True
+    drive = ros.mech.drive_sets[0].drives[2]
+    ros.fault_injector.inject(DRIVE_TRANSIENT, target=drive.drive_id)
     ros.drain_background()
     for task in tasks:
         assert task.state == "done"

@@ -5,18 +5,7 @@ import pytest
 from repro.media.errors_model import SectorErrorModel
 from repro.olfs.mechanical import ArrayState
 from repro.sim.rng import DeterministicRNG
-from tests.conftest import make_ros
-
-
-def populated(files=12, **kwargs):
-    ros = make_ros(**kwargs)
-    payloads = {}
-    for index in range(files):
-        path = f"/archive/y2026/f{index:02d}.bin"
-        payloads[path] = bytes([index + 1]) * 20000
-        ros.write(path, payloads[path])
-    ros.flush()
-    return ros, payloads
+from tests.conftest import make_ros, populated
 
 
 # ----------------------------------------------------------------------

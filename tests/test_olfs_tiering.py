@@ -3,18 +3,7 @@
 import pytest
 
 from repro.olfs.mechanical import ArrayState
-from tests.conftest import make_ros
-
-
-def fill_and_burn(ros, files=12, size=30000, prefix="/data"):
-    """Write enough data to close buckets and trigger array burns."""
-    payloads = {}
-    for index in range(files):
-        path = f"{prefix}/f{index:02d}.bin"
-        payloads[path] = bytes([index % 251]) * size
-        ros.write(path, payloads[path])
-    ros.flush()
-    return payloads
+from tests.conftest import fill_and_burn, make_ros
 
 
 # ----------------------------------------------------------------------

@@ -9,6 +9,7 @@ regression net.
 
 import pytest
 
+from repro.faults import DRIVE_TRANSIENT, FaultPlan
 from repro.media.errors_model import SectorErrorModel
 from repro.olfs.mechanical import ArrayState
 from repro.power import PowerModel
@@ -18,7 +19,7 @@ from repro.workloads import ArchivalWorkloadGenerator
 
 
 def test_year_of_operation():
-    ros = make_ros(read_cache_images=3)
+    ros = make_ros(read_cache_images=3, fault_plan=FaultPlan())
     oracle: dict[str, bytes] = {}
     generator = ArchivalWorkloadGenerator(
         "mixed", seed=2026, payload_cap=4096, max_file_bytes=24 * 1024
@@ -83,7 +84,9 @@ def test_year_of_operation():
         path = f"/late/burst-{index}.bin"
         oracle[path] = bytes([index + 60]) * 18000
         ros.write(path, oracle[path])
-    ros.mech.drive_sets[0].drives[2].inject_burn_failure = True
+    ros.fault_injector.inject(
+        DRIVE_TRANSIENT, target=ros.mech.drive_sets[0].drives[2].drive_id
+    )
     ros.flush()
     assert ros.mc.counts()["Failed"] == failed_before + 1
 
