@@ -1,0 +1,63 @@
+"""Engine throughput suite: events/s per scheduling pattern (ISSUE 3).
+
+Unlike the paper benches (which report *simulated* metrics), this suite
+measures the simulator itself: how many engine events per wall-second
+each hot scheduling pattern sustains, plus wall-clock for the three
+canonical end-to-end scenarios.  Results land in ``benchmarks/results.json``
+alongside the paper tables; the CI perf gate runs the same microbenches
+through ``python -m repro bench --check`` against
+``benchmarks/perf/baseline.json``.
+"""
+
+import pathlib
+
+import pytest
+
+from benchmarks.conftest import print_table, record_result
+from repro.perf.harness import gate_check, load_baseline
+from repro.perf.microbench import run_microbenches
+from repro.perf.scenarios import run_scenarios
+
+#: full-size events counts keep a laptop run under ~5 s; the CLI uses the
+#: same defaults, so numbers here are comparable with BENCH_engine.json
+SCALE = 1.0
+REPEATS = 2
+
+
+@pytest.fixture(scope="module")
+def microbench_results():
+    return run_microbenches(scale=SCALE, repeats=REPEATS)
+
+
+def test_engine_events_per_second(microbench_results):
+    rows = [
+        {"microbench": name, "events_per_sec": round(value)}
+        for name, value in microbench_results.items()
+    ]
+    print_table("Engine event-loop throughput", rows)
+    record_result("perf_engine_events", rows)
+    assert all(value > 0 for value in microbench_results.values())
+
+
+def test_scenario_wall_clock():
+    results = run_scenarios()
+    rows = [
+        {"scenario": name, "wall_seconds": stats["wall_seconds"]}
+        for name, stats in results.items()
+    ]
+    print_table("Scenario wall-clock", rows)
+    record_result("perf_scenarios", rows)
+    # The chaos campaign must still satisfy every invariant when run
+    # through the perf harness — speed must not cost correctness.
+    assert results["chaos_campaign"]["invariants_ok"]
+
+
+def test_perf_gate_against_committed_baseline(microbench_results):
+    """The committed floors hold on this host (generous 60% tolerance:
+    this is a smoke check that the gate plumbing and baseline agree;
+    the CI job runs the real 30% gate)."""
+    baseline = load_baseline(
+        str(pathlib.Path(__file__).parent / "baseline.json")
+    )
+    failures = gate_check(microbench_results, baseline, tolerance=0.60)
+    assert not failures, failures

@@ -12,6 +12,8 @@ builds what it needs and prints a report:
     power        §5.1 power corner points
     trace        run a traced scenario, print the span tree, export JSON
     chaos        seeded fault-injection campaign with invariant checks
+    bench        engine events/s + scenario wall-clock, perf-gate check
+    profile      cProfile a scenario or microbench, top-N hotspots
 """
 
 from __future__ import annotations
@@ -279,6 +281,70 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    """Engine microbenches (events/s) + scenario wall-clock, with a gate."""
+    from repro.perf.harness import (
+        append_trajectory,
+        gate_check,
+        load_baseline,
+        run_benchmarks,
+    )
+
+    entry = run_benchmarks(
+        scale=args.scale,
+        repeats=args.repeats,
+        scenarios=not args.no_scenarios,
+    )
+    if args.label:
+        entry["label"] = args.label
+
+    rows = [
+        {"microbench": name, "events_per_sec": value}
+        for name, value in entry["events_per_sec"].items()
+    ]
+    _print_rows(rows)
+    for name, stats in entry.get("scenarios", {}).items():
+        print(f"scenario {name}: {stats['wall_seconds']:.3f} s wall "
+              f"(sim {stats.get('sim_seconds', '-')} s)")
+
+    if args.out:
+        append_trajectory(entry, args.out)
+        print(f"appended to {args.out}")
+
+    if args.check:
+        try:
+            baseline = load_baseline(args.baseline)
+        except FileNotFoundError:
+            print(f"perf gate SKIPPED: no baseline at {args.baseline}")
+            return 0
+        failures = gate_check(
+            entry["events_per_sec"], baseline, tolerance=args.tolerance
+        )
+        if failures:
+            for failure in failures:
+                print(f"PERF GATE FAILED: {failure}")
+            return 1
+        print(f"perf gate ok (tolerance {args.tolerance:.0%} "
+              f"below {args.baseline})")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    """cProfile one scenario or microbench and print the top-N hotspots."""
+    from repro.perf.harness import profile_target
+
+    try:
+        report, stats = profile_target(args.target, top=args.top,
+                                       scale=args.scale)
+    except KeyError as error:
+        print(error.args[0])
+        return 2
+    if stats:
+        print(f"scenario stats: {stats}")
+    print(report)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -347,6 +413,43 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fault-plan hazard multiplier")
     chaos.add_argument("--out", help="write the JSON report here")
     chaos.set_defaults(handler=cmd_chaos)
+
+    bench = sub.add_parser(
+        "bench", help="engine events/s + scenario wall-clock, perf gate"
+    )
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="runs per microbench; best is kept (default 3)")
+    bench.add_argument("--scale", type=float, default=1.0,
+                       help="multiplier on microbench event counts")
+    bench.add_argument("--label", default="",
+                       help="tag for this trajectory entry")
+    bench.add_argument("--out", default="BENCH_engine.json",
+                       help="trajectory file to append to "
+                            "(default BENCH_engine.json; '' to skip)")
+    bench.add_argument("--no-scenarios", action="store_true",
+                       help="microbenches only, skip wall-clock scenarios")
+    bench.add_argument("--check", action="store_true",
+                       help="fail if events/s drops below the baseline gate")
+    bench.add_argument("--baseline", default="benchmarks/perf/baseline.json",
+                       help="committed baseline for --check")
+    bench.add_argument("--tolerance", type=float, default=0.30,
+                       help="allowed fractional drop below baseline")
+    bench.set_defaults(handler=cmd_bench)
+
+    profile = sub.add_parser(
+        "profile", help="cProfile a scenario or microbench, top-N hotspots"
+    )
+    profile.add_argument(
+        "target",
+        help="scenario (cold_read, longevity_slice, chaos_campaign) "
+             "or microbench (delay_chain, ping_pong, spawn_join, "
+             "bandwidth_flows)",
+    )
+    profile.add_argument("--top", type=int, default=15,
+                         help="number of hotspot rows (default 15)")
+    profile.add_argument("--scale", type=float, default=1.0,
+                         help="multiplier on microbench event counts")
+    profile.set_defaults(handler=cmd_profile)
     return parser
 
 

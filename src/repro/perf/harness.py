@@ -1,0 +1,124 @@
+"""Perf-gate plumbing: trajectory file, baseline gate, profile runner.
+
+``BENCH_engine.json`` (repo root) is the cross-PR perf trajectory: every
+``repro bench`` run appends one entry, so the file reads as a history of
+event-loop throughput over the life of the repository.
+
+``benchmarks/perf/baseline.json`` is the committed gate: CI runs
+``repro bench --check`` and fails when any microbench drops more than
+``tolerance`` (default 30%) below the baseline's events/s.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import json
+import pstats
+import time
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.perf.microbench import MICROBENCHES, run_microbenches
+from repro.perf.scenarios import SCENARIOS, run_scenarios
+
+#: default locations, relative to the repository root / current directory
+TRAJECTORY_PATH = "BENCH_engine.json"
+BASELINE_PATH = "benchmarks/perf/baseline.json"
+DEFAULT_TOLERANCE = 0.30
+
+
+def run_benchmarks(
+    scale: float = 1.0,
+    repeats: int = 3,
+    scenarios: bool = True,
+) -> dict:
+    """Run the microbench suite (and optionally scenarios); one entry dict."""
+    entry: dict = {
+        "recorded": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "events_per_sec": {
+            name: round(value)
+            for name, value in run_microbenches(scale, repeats).items()
+        },
+    }
+    if scenarios:
+        entry["scenarios"] = run_scenarios()
+    return entry
+
+
+def append_trajectory(entry: dict, path: str = TRAJECTORY_PATH) -> dict:
+    """Append ``entry`` to the trajectory file, creating it if missing."""
+    target = Path(path)
+    if target.exists():
+        data = json.loads(target.read_text())
+    else:
+        data = {
+            "unit": "events_per_sec: engine microbench throughput; "
+                    "scenarios: wall_seconds per canonical scenario",
+            "trajectory": [],
+        }
+    data["trajectory"].append(entry)
+    target.write_text(json.dumps(data, indent=2) + "\n")
+    return data
+
+
+def load_baseline(path: str = BASELINE_PATH) -> Dict[str, float]:
+    """events/s per microbench from the committed baseline file."""
+    data = json.loads(Path(path).read_text())
+    return {str(k): float(v) for k, v in data["events_per_sec"].items()}
+
+
+def gate_check(
+    results: Dict[str, float],
+    baseline: Dict[str, float],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> list[str]:
+    """Failure messages for benches below ``(1 - tolerance) * baseline``.
+
+    Benches present in only one of the two dicts are skipped — adding a
+    new microbench must not fail the gate until a baseline is recorded.
+    """
+    if not 0 <= tolerance < 1:
+        raise ValueError(f"tolerance must be in [0, 1), got {tolerance}")
+    failures = []
+    for name, floor_source in baseline.items():
+        measured = results.get(name)
+        if measured is None:
+            continue
+        floor = floor_source * (1.0 - tolerance)
+        if measured < floor:
+            failures.append(
+                f"{name}: {measured:.0f}/s is below the perf gate "
+                f"({floor:.0f}/s = baseline {floor_source:.0f}/s "
+                f"- {tolerance:.0%})"
+            )
+    return failures
+
+
+def profile_target(
+    name: str, top: int = 15, scale: float = 1.0
+) -> tuple[str, Optional[dict]]:
+    """cProfile a scenario or microbench; (report text, scenario stats).
+
+    ``name`` may be any key of :data:`SCENARIOS` or :data:`MICROBENCHES`.
+    """
+    stats_out: Optional[dict] = None
+    if name in SCENARIOS:
+        fn = SCENARIOS[name]
+        profiler = cProfile.Profile()
+        profiler.enable()
+        stats_out = fn()
+        profiler.disable()
+    elif name in MICROBENCHES:
+        bench, default_n = MICROBENCHES[name]
+        n = max(64, int(default_n * scale))
+        profiler = cProfile.Profile()
+        profiler.enable()
+        bench(n)
+        profiler.disable()
+    else:
+        known = ", ".join(sorted([*SCENARIOS, *MICROBENCHES]))
+        raise KeyError(f"unknown profile target {name!r} (known: {known})")
+    buffer = io.StringIO()
+    pstats.Stats(profiler, stream=buffer).sort_stats("tottime").print_stats(top)
+    return buffer.getvalue(), stats_out

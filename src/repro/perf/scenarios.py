@@ -1,0 +1,129 @@
+"""Canonical end-to-end scenarios measured in wall-clock seconds.
+
+Three workloads chosen to exercise different layers of the stack:
+
+``cold_read``
+    Write a batch of files, burn them, evict the cache and read one back
+    through the full robotic fetch path (the Table-1 latency scenario).
+``longevity_slice``
+    A slice of ``benchmarks/bench_longevity.py``: burn a small vault,
+    age every disc with the seeded sector-error model for a few periods
+    and re-read everything (drives the parity-repair read path).
+``chaos_campaign``
+    One seeded fault-injection campaign (``repro chaos``) — the heaviest
+    consumer of the engine, tracing and fault subsystems together.
+
+Each scenario is a zero-argument callable returning a small stats dict;
+the harness owns the timing, so the same callables feed both
+``repro bench`` (wall-clock) and ``repro profile`` (cProfile).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+
+def _small_ros():
+    # Mirrors the test-suite rack: tiny buckets so burns finish in
+    # simulated minutes while still crossing every layer.
+    from repro import OLFSConfig, ROS, units
+
+    config = OLFSConfig(
+        data_discs_per_array=3, parity_discs_per_array=1
+    ).scaled_for_tests(bucket_capacity=64 * 1024)
+    return ROS(
+        config=config,
+        roller_count=1,
+        buffer_volume_capacity=200 * units.MB,
+    )
+
+
+def scenario_cold_read() -> dict:
+    ros = _small_ros()
+    for index in range(9):
+        ros.write(f"/perf/file-{index}.bin", bytes([index + 1]) * 9000)
+    ros.flush()
+    path = "/perf/file-0.bin"
+    ros.cache.evict(ros.stat(path)["locations"][0])
+    result = ros.read(path)
+    ros.drain_background()
+    return {
+        "source": result.source,
+        "sim_seconds": round(ros.now, 3),
+        "read_seconds": round(result.total_seconds, 3),
+    }
+
+
+def scenario_longevity_slice(periods: int = 3, aging_rate: float = 1e-3) -> dict:
+    from repro.media.errors_model import SectorErrorModel
+    from repro.sim.rng import DeterministicRNG
+
+    ros = _small_ros()
+    payloads = {}
+    for index in range(12):
+        path = f"/vault/f{index:02d}.bin"
+        payloads[path] = bytes([index + 1]) * 20000
+        ros.write(path, payloads[path])
+    ros.flush()
+
+    model = SectorErrorModel(
+        DeterministicRNG(7).child("aging"), sector_error_rate=aging_rate
+    )
+    errors = 0
+    for _ in range(periods):
+        for roller in ros.mech.rollers:
+            for tray in roller.trays.values():
+                for disc in tray.discs():
+                    if disc.tracks:
+                        errors += model.age_disc(disc)
+
+    readable = 0
+    for path, payload in payloads.items():
+        image = ros.stat(path)["locations"][0]
+        ros.cache.evict(image)
+        try:
+            if ros.read(path).data == payload:
+                readable += 1
+        except Exception:  # noqa: BLE001 - unreadable file is the datum
+            continue
+    return {
+        "files": len(payloads),
+        "readable": readable,
+        "sector_errors": errors,
+        "sim_seconds": round(ros.now, 3),
+    }
+
+
+def scenario_chaos_campaign(seed: int = 42, ops: int = 120) -> dict:
+    from repro.faults.campaign import run_campaign
+
+    report = run_campaign(seed, ops)
+    return {
+        "seed": seed,
+        "ops": ops,
+        "fault_events": len(report["fault_events"]),
+        "invariants_ok": all(inv["ok"] for inv in report["invariants"]),
+        "sim_seconds": round(report["final_time"], 3),
+    }
+
+
+SCENARIOS: Dict[str, Callable[[], dict]] = {
+    "cold_read": scenario_cold_read,
+    "longevity_slice": scenario_longevity_slice,
+    "chaos_campaign": scenario_chaos_campaign,
+}
+
+
+def run_scenarios(names: list[str] | None = None) -> Dict[str, dict]:
+    """Run scenarios by name (all by default); stats dict per scenario."""
+    import time
+
+    selected = names or list(SCENARIOS)
+    results: Dict[str, dict] = {}
+    for name in selected:
+        fn = SCENARIOS[name]
+        start = time.perf_counter()
+        stats = fn()
+        wall = time.perf_counter() - start
+        results[name] = {"wall_seconds": round(wall, 4), **stats}
+    return results

@@ -12,6 +12,31 @@ Usage (inside a process generator)::
 
     yield from volume_bw.transfer(nbytes)          # weight 1
     yield from volume_bw.transfer(nbytes, weight=2)
+
+Incremental accounting
+----------------------
+The seed implementation re-summed every flow's weight and rescanned every
+flow on each arrival *and* each completion timer — O(active flows) per flow
+event, O(n²) for the §4.7 multi-stream bursts.  This version keeps the
+bookkeeping incremental while producing bit-identical event times:
+
+* the total weight is maintained on flow add/finish (appends reproduce the
+  seed's left-to-right summation exactly; removals subtract — exact for the
+  integral weights every call site uses — and fall back to a re-sum in list
+  order if any non-integral weight is active);
+* the flow that completes next (the argmin of ``remaining / rate``) is
+  tracked across arrivals, so ``_reschedule`` is O(1) instead of a scan —
+  under processor sharing all flows drain at the same per-weight rate, so
+  the argmin only changes on arrivals and completions;
+* ``_settle`` is O(1) when no simulated time has passed (same-instant
+  arrival bursts) and touches every flow only when real progress must be
+  credited — using the seed's exact per-flow arithmetic, in list order, so
+  ``remaining``/``bytes_moved`` stay bit-identical.
+
+``bytes_moved`` is now a *pure* read: it reports settled progress plus the
+in-flight remainder without mutating state (the seed property silently
+settled, which could fire completion events from a read).  Call
+:meth:`settle` for the old explicit-settlement behaviour.
 """
 
 from __future__ import annotations
@@ -48,6 +73,13 @@ class SharedBandwidth:
         self._last_settled = engine.now
         self._timer: Optional["Timer"] = None
         self._bytes_moved = 0.0
+        self._event_name = f"{name}:transfer"
+        # Incremental bookkeeping (see module docstring).
+        self._weight_total = 0.0
+        self._nonintegral_weights = 0
+        self._min_flow: Optional[_Flow] = None
+        self._tiny_pending = False  # a flow was admitted at/below threshold
+        self._threshold = max(_EPSILON_BYTES, self.capacity * 1e-9)
 
     # ------------------------------------------------------------------
     # Public API
@@ -58,13 +90,39 @@ class SharedBandwidth:
 
     @property
     def bytes_moved(self) -> float:
-        """Total bytes transferred through this device so far (settled)."""
+        """Total bytes transferred through this device so far.
+
+        Pure read: settled progress plus each active flow's in-flight
+        share since the last settlement, computed without mutating the
+        model (no events fire, no state changes).
+        """
+        total = self._bytes_moved
+        flows = self._flows
+        if flows:
+            elapsed = self.engine.now - self._last_settled
+            if elapsed > 0:
+                capacity = self.capacity
+                total_weight = self._weight_total
+                for flow in flows:
+                    rate = capacity * flow.weight / total_weight
+                    moved = rate * elapsed
+                    if moved > flow.remaining:
+                        moved = flow.remaining
+                    total += moved
+        return total
+
+    def settle(self) -> None:
+        """Credit all in-flight progress up to ``engine.now`` (mutating).
+
+        Completion events for flows that finished exactly now fire from
+        here — this is the explicit form of what reading ``bytes_moved``
+        used to do implicitly.
+        """
         self._settle()
-        return self._bytes_moved
 
     def current_rate(self, weight: float = 1.0) -> float:
         """Rate a new flow of ``weight`` would receive right now, bytes/s."""
-        total = sum(flow.weight for flow in self._flows) + weight
+        total = self._weight_total + weight
         return self.capacity * weight / total
 
     def transfer(self, nbytes: float, weight: float = 1.0) -> Generator:
@@ -78,9 +136,14 @@ class SharedBandwidth:
             raise ValueError(f"weight must be positive, got {weight}")
         if nbytes == 0:
             return
-        event = self.engine.event(f"{self.name}:transfer")
+        event = self.engine.event(self._event_name)
         self._settle()
-        self._flows.append(_Flow(float(nbytes), float(weight), event))
+        flow = _Flow(float(nbytes), float(weight), event)
+        self._flows.append(flow)
+        self._add_weight(flow.weight)
+        if flow.remaining <= self._threshold:
+            self._tiny_pending = True
+        self._note_arrival(flow)
         self._reschedule()
         yield Wait(event)
 
@@ -89,11 +152,38 @@ class SharedBandwidth:
         return nbytes / self.capacity
 
     # ------------------------------------------------------------------
-    # Fluid-flow bookkeeping
+    # Incremental weight total
     # ------------------------------------------------------------------
     def _total_weight(self) -> float:
-        return sum(flow.weight for flow in self._flows)
+        return self._weight_total
 
+    def _add_weight(self, weight: float) -> None:
+        # Appending reproduces the seed's left-to-right sum bit for bit.
+        self._weight_total += weight
+        if weight != int(weight):
+            self._nonintegral_weights += 1
+
+    def _remove_weights(self, finished: list[_Flow]) -> None:
+        if self._nonintegral_weights:
+            # Non-integral weights: incremental subtraction can drift from
+            # a fresh sum in float arithmetic, so re-sum in list order
+            # (exactly the seed's computation over the surviving flows).
+            total = 0.0
+            nonintegral = 0
+            for flow in self._flows:
+                total += flow.weight
+                if flow.weight != int(flow.weight):
+                    nonintegral += 1
+            self._weight_total = total
+            self._nonintegral_weights = nonintegral
+        else:
+            # All weights are integers: float add/subtract is exact.
+            for flow in finished:
+                self._weight_total -= flow.weight
+
+    # ------------------------------------------------------------------
+    # Fluid-flow bookkeeping
+    # ------------------------------------------------------------------
     def _completion_threshold(self) -> float:
         """Bytes below which a flow counts as finished.
 
@@ -101,42 +191,85 @@ class SharedBandwidth:
         float time resolution (remaining/rate must stay representable when
         added to the clock) — a sub-nanosecond tail is simply done.
         """
-        return max(_EPSILON_BYTES, self.capacity * 1e-9)
+        return self._threshold
+
+    def _next_completion_of(self, flow: _Flow) -> float:
+        return flow.remaining / (
+            self.capacity * flow.weight / self._weight_total
+        )
+
+    def _note_arrival(self, flow: _Flow) -> None:
+        """Keep ``_min_flow`` the next flow to complete after an arrival.
+
+        Under processor sharing every flow drains its ``remaining/weight``
+        at the same rate, so the argmin is stable between arrivals; a new
+        flow only takes over if it would finish strictly sooner (ties keep
+        the earlier flow, matching ``min()`` over the list).
+        """
+        current = self._min_flow
+        if current is None:
+            self._min_flow = flow
+        elif self._next_completion_of(flow) < self._next_completion_of(current):
+            self._min_flow = flow
 
     def _settle(self) -> None:
-        """Advance every active flow's progress up to the current time."""
+        """Advance every active flow's progress up to the current time.
+
+        Amortized: O(1) when no simulated time elapsed and no freshly
+        admitted flow sits at the completion threshold; O(active flows) —
+        the seed's exact arithmetic, in list order — only when progress
+        must be credited.
+        """
         now = self.engine.now
         elapsed = now - self._last_settled
         self._last_settled = now
-        if not self._flows:
+        flows = self._flows
+        if not flows:
             return
+        threshold = self._threshold
+        crossed = False
         if elapsed > 0:
-            total_weight = self._total_weight()
-            for flow in self._flows:
-                rate = self.capacity * flow.weight / total_weight
-                moved = min(flow.remaining, rate * elapsed)
+            total_weight = self._weight_total
+            capacity = self.capacity
+            for flow in flows:
+                rate = capacity * flow.weight / total_weight
+                moved = rate * elapsed
+                if moved > flow.remaining:
+                    moved = flow.remaining
                 flow.remaining -= moved
                 self._bytes_moved += moved
-        threshold = self._completion_threshold()
-        finished = [f for f in self._flows if f.remaining <= threshold]
+                if flow.remaining <= threshold:
+                    crossed = True
+        if not crossed and not self._tiny_pending:
+            return
+        self._tiny_pending = False
+        finished = [f for f in flows if f.remaining <= threshold]
         if finished:
-            self._flows = [f for f in self._flows if f.remaining > threshold]
+            self._flows = flows = [f for f in flows if f.remaining > threshold]
+            self._remove_weights(finished)
             for flow in finished:
                 self._bytes_moved += flow.remaining
                 flow.remaining = 0.0
                 flow.event.succeed()
+            # The finished flow was (almost always) the tracked argmin;
+            # rescan the survivors while we already hold them.
+            best: Optional[_Flow] = None
+            best_completion = 0.0
+            for flow in flows:
+                completion = self._next_completion_of(flow)
+                if best is None or completion < best_completion:
+                    best = flow
+                    best_completion = completion
+            self._min_flow = best
 
     def _reschedule(self) -> None:
         if self._timer is not None:
             self._timer.cancel()
             self._timer = None
+        flow = self._min_flow
         if not self._flows:
             return
-        total_weight = self._total_weight()
-        next_completion = min(
-            flow.remaining / (self.capacity * flow.weight / total_weight)
-            for flow in self._flows
-        )
+        next_completion = self._next_completion_of(flow)
         if next_completion < 0:
             raise SimulationError("negative completion time in bandwidth model")
         self._timer = self.engine.call_later(next_completion, self._on_timer)

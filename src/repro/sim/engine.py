@@ -26,15 +26,46 @@ Supported effects
 
 Processes may also be interrupted (:meth:`Process.interrupt`), which raises
 :class:`Interrupt` inside the generator at its current yield point.
+
+Scheduling fast path
+--------------------
+Most events in a run are *same-time resumes*: a process finished an effect
+at the current instant and must continue (spawns, ``Delay(0)``, event
+``succeed``, joins, resource grants).  Pushing each of those through the
+heap costs two ``heapq`` operations plus a closure allocation per step.
+Instead the engine keeps a FIFO *run queue* (a deque of
+``(sequence, process, value, exception)`` tuples) for same-time resumes and
+reserves the heap for genuinely future timers — only ``Delay`` and explicit
+``call_at``/``call_later`` callbacks ever touch it.  Run-queue entries and
+heap entries draw sequence numbers from the same counter, and the main
+loops merge the two sources in global ``(time, sequence)`` order — so
+observable event ordering is exactly what a single heap would produce (the
+same-time FIFO contract is pinned by a property test in
+``tests/test_sim_engine.py``).
+
+Three further allocations are shaved off the per-event path: a ``Delay``
+pushes its ``(time, sequence, process)`` heap entry directly — no
+:class:`Timer` object at all; the entry is live iff the process's
+``_suspension`` slot still holds that exact tuple (valued resumes only
+ever travel via the run queue, so heap entries carry no payload) — a
+suspended process records *what* it is waiting on as a plain object
+reference in ``_suspension`` (no per-suspension cancel closure;
+:meth:`Process.interrupt` dispatches on the object's type), and cancelled
+timers are counted so :attr:`Engine.is_idle` is O(1) and the heap is
+compacted once more than half of it is dead.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.sim.tracing import NULL_TRACER
+
+#: Compact the heap only above this size (tiny heaps aren't worth it).
+_COMPACT_MIN_HEAP = 64
 
 
 class SimulationError(RuntimeError):
@@ -137,17 +168,37 @@ class Acquire(Effect):
 
 
 class Timer:
-    """Handle for a scheduled callback; may be cancelled before it fires."""
+    """Handle for a scheduled callback; may be cancelled before it fires.
 
-    __slots__ = ("time", "callback", "cancelled")
+    Timers exist only for explicit ``call_at``/``call_later`` callbacks;
+    ``Delay`` suspensions skip the object entirely and push a bare
+    ``(time, sequence, process)`` tuple on the heap (the entry is live
+    iff the process's ``_suspension`` slot still holds that exact tuple).
+    """
 
-    def __init__(self, time: float, callback: Callable[[], None]):
+    __slots__ = ("engine", "time", "callback", "cancelled")
+
+    def __init__(self, engine: "Engine", time: float,
+                 callback: Callable[[], None]):
+        self.engine = engine
         self.time = time
         self.callback = callback
         self.cancelled = False
 
     def cancel(self) -> None:
+        if self.cancelled:
+            return
         self.cancelled = True
+        engine = self.engine
+        engine._live_timers -= 1
+        engine._dead_timers += 1
+        # Amortized heap hygiene: once the heap is mostly corpses, rebuild
+        # it without them.  Keeps long flow-churn runs bounded in memory.
+        if (
+            engine._dead_timers * 2 > len(engine._heap)
+            and len(engine._heap) > _COMPACT_MIN_HEAP
+        ):
+            engine._compact_heap()
 
 
 class SimEvent:
@@ -184,8 +235,12 @@ class SimEvent:
         self._fired = True
         self._value = value
         waiters, self._waiters = self._waiters, []
+        engine = self.engine
+        runq = engine._runq
+        seq_next = engine._seq_next
         for process in waiters:
-            self.engine._schedule_resume(process, value=value)
+            runq.append((seq_next(), process, value, None))
+            process._suspension = None
 
     def fail(self, exception: BaseException) -> None:
         if self._fired:
@@ -193,8 +248,12 @@ class SimEvent:
         self._fired = True
         self._exception = exception
         waiters, self._waiters = self._waiters, []
+        engine = self.engine
+        runq = engine._runq
+        seq_next = engine._seq_next
         for process in waiters:
-            self.engine._schedule_resume(process, exception=exception)
+            runq.append((seq_next(), process, None, exception))
+            process._suspension = None
 
     def _add_waiter(self, process: "Process") -> None:
         if self._fired:
@@ -227,8 +286,7 @@ class Process:
         "_error",
         "_error_observed",
         "_completion_waiters",
-        "_pending_cancel",
-        "_waiting_on",
+        "_suspension",
         "span_parent",
         "_span_stack",
     )
@@ -242,10 +300,12 @@ class Process:
         self._error: Optional[BaseException] = None
         self._error_observed = False
         self._completion_waiters: list[Process] = []
-        # Callback that detaches this process from whatever it is waiting on
-        # (timer, event, resource queue); used by interrupt().
-        self._pending_cancel: Optional[Callable[[], None]] = None
-        self._waiting_on: Optional[str] = None
+        # What this process is suspended on: the (time, seq, process)
+        # heap entry (Delay), a Timer (callback delays), SimEvent (Wait),
+        # Process (Join), an object with ``_detach(process)`` (resource
+        # queues), or None when runnable/scheduled.  interrupt()
+        # dispatches on the type; waiting_on() renders it for humans.
+        self._suspension: Any = None
         # Tracing context: the span that was active when this process was
         # spawned (background work attaches under it), and this process's
         # own stack of open spans (created lazily by the tracer).
@@ -266,6 +326,24 @@ class Process:
         self._error_observed = True
         return self._error
 
+    def waiting_on(self) -> Optional[str]:
+        """Human-readable description of the pending effect (or ``None``)."""
+        suspension = self._suspension
+        if suspension is None or isinstance(suspension, str):
+            return suspension
+        kind = type(suspension)
+        if kind is tuple:
+            return f"delay(until t={suspension[0]:.3f}s)"
+        if kind is Timer:
+            return f"delay(until t={suspension.time:.3f}s)"
+        if kind is SimEvent:
+            return f"event({suspension.name})"
+        if kind is Process:
+            return f"join({suspension.name})"
+        return (
+            f"{kind.__name__.lower()}({getattr(suspension, 'name', '')})"
+        )
+
     def interrupt(self, cause: Any = None) -> None:
         """Interrupt the process at its current yield point.
 
@@ -274,17 +352,37 @@ class Process:
         """
         if self.done:
             return
-        if self._pending_cancel is None:
+        suspension = self._suspension
+        if suspension is None:
             raise SimulationError(
                 f"cannot interrupt process {self.name!r}: not suspended"
             )
-        self._pending_cancel()
-        self._pending_cancel = None
-        self._waiting_on = None
+        # Clear the slot *before* any heap compaction: a Delay heap entry
+        # is live iff this slot still holds it, so clearing is the cancel.
+        self._suspension = None
+        kind = type(suspension)
+        if kind is tuple:
+            engine = self.engine
+            engine._live_timers -= 1
+            engine._dead_timers += 1
+            if (
+                engine._dead_timers * 2 > len(engine._heap)
+                and len(engine._heap) > _COMPACT_MIN_HEAP
+            ):
+                engine._compact_heap()
+        elif kind is Timer:
+            suspension.cancel()
+        elif kind is SimEvent:
+            suspension._remove_waiter(self)
+        elif kind is Process:
+            if self in suspension._completion_waiters:
+                suspension._completion_waiters.remove(self)
+        else:
+            suspension._detach(self)
         self.engine._schedule_resume(self, exception=Interrupt(cause))
 
     def __repr__(self) -> str:
-        state = "done" if self.done else f"waiting:{self._waiting_on}"
+        state = "done" if self.done else f"waiting:{self.waiting_on()}"
         return f"<Process {self.name} {state}>"
 
 
@@ -306,15 +404,23 @@ NULL_FAULTS = _NullFaults()
 
 
 class Engine:
-    """The discrete-event simulator: clock, heap and process scheduler."""
+    """The discrete-event simulator: clock, run queue, heap and scheduler."""
 
     def __init__(self):
         self._now = 0.0
-        self._heap: list[tuple[float, int, Timer]] = []
+        #: heap entries are (time, sequence, Timer | Process): a Timer for
+        #: callback scheduling, the suspended Process itself for Delays
+        self._heap: list[tuple[float, int, Any]] = []
+        #: FIFO of same-time resumes: (sequence, process, value, exception)
+        self._runq: deque[tuple[int, "Process", Any,
+                                Optional[BaseException]]] = deque()
         self._sequence = itertools.count()
+        self._seq_next = self._sequence.__next__
         self._active: int = 0  # number of live (unfinished) processes
+        self._live_timers: int = 0  # non-cancelled timers still in the heap
+        self._dead_timers: int = 0  # cancelled timers still in the heap
         #: the process whose generator is currently being stepped (tracing
-        #: context; resumes always go through the heap, so steps never nest)
+        #: context; resumes always go through the scheduler, never nested)
         self.current_process: Optional[Process] = None
         #: tracer hook; replace with :class:`repro.sim.tracing.Tracer`
         self.trace = NULL_TRACER
@@ -328,15 +434,24 @@ class Engine:
 
     @property
     def is_idle(self) -> bool:
-        """No live processes and no pending timers: the engine has drained.
+        """No live processes, queued resumes or pending timers: drained.
 
         The chaos-campaign "no deadlock" invariant checks this after a
         full ``run()``; a stuck process (live but unscheduled) keeps
-        ``_active`` positive with an empty heap.
+        ``_active`` positive with nothing scheduled.  O(1): live timers
+        are counted as they are scheduled/cancelled/fired, never by
+        scanning the heap.
         """
-        if self._active != 0:
-            return False
-        return not any(not timer.cancelled for _t, _s, timer in self._heap)
+        return (
+            self._active == 0
+            and self._live_timers == 0
+            and not self._runq
+        )
+
+    @property
+    def pending_timers(self) -> int:
+        """Number of scheduled, not-yet-cancelled timers (O(1))."""
+        return self._live_timers
 
     # ------------------------------------------------------------------
     # Timers
@@ -346,12 +461,29 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule in the past: {time} < {self._now}"
             )
-        timer = Timer(max(time, self._now), callback)
-        heapq.heappush(self._heap, (timer.time, next(self._sequence), timer))
+        if time < self._now:
+            time = self._now
+        timer = Timer(self, time, callback)
+        heapq.heappush(self._heap, (time, self._seq_next(), timer))
+        self._live_timers += 1
         return timer
 
     def call_later(self, delay: float, callback: Callable[[], None]) -> Timer:
         return self.call_at(self._now + delay, callback)
+
+    def _compact_heap(self) -> None:
+        """Drop cancelled entries and re-heapify (same (time, seq) order)."""
+        alive = []
+        for entry in self._heap:
+            owner = entry[2]
+            if owner.__class__ is Timer:
+                if not owner.cancelled:
+                    alive.append(entry)
+            elif owner._suspension is entry:
+                alive.append(entry)
+        heapq.heapify(alive)
+        self._heap = alive
+        self._dead_timers = 0
 
     def event(self, name: str = "") -> SimEvent:
         return SimEvent(self, name)
@@ -362,24 +494,78 @@ class Engine:
     def spawn(self, generator: Generator, name: str = "") -> Process:
         """Start a new process; it first runs at the current simulated time."""
         process = Process(self, generator, name)
-        parent = self.trace.active_span()
-        if parent is not None:
-            process.span_parent = parent
+        if self.trace.enabled:
+            parent = self.trace.active_span()
+            if parent is not None:
+                process.span_parent = parent
         self._active += 1
-        self._schedule_resume(process, value=None, first=True)
+        self._runq.append((self._seq_next(), process, None, None))
         return process
 
     def run(self, until: Optional[float] = None) -> None:
         """Run scheduled events, optionally stopping at simulated time ``until``."""
-        while self._heap:
-            time, _seq, timer = self._heap[0]
-            if until is not None and time > until:
-                break
-            heapq.heappop(self._heap)
-            if timer.cancelled:
+        heap = self._heap
+        runq = self._runq
+        heappop = heapq.heappop
+        step = self._step
+        while True:
+            if runq:
+                # Merge rule: a heap entry at the current instant runs
+                # before a queued resume iff it was scheduled earlier.
+                if heap:
+                    entry = heap[0]
+                    owner = entry[2]
+                    if owner.__class__ is Timer:
+                        if owner.cancelled:
+                            heappop(heap)
+                            self._dead_timers -= 1
+                            continue
+                        if entry[0] <= self._now and entry[1] < runq[0][0]:
+                            heappop(heap)
+                            self._live_timers -= 1
+                            owner.callback()
+                            continue
+                    else:
+                        if owner._suspension is not entry:
+                            heappop(heap)
+                            self._dead_timers -= 1
+                            continue
+                        if entry[0] <= self._now and entry[1] < runq[0][0]:
+                            heappop(heap)
+                            self._live_timers -= 1
+                            owner._suspension = None
+                            step(owner, None, None)
+                            continue
+                _seq, process, value, exception = runq.popleft()
+                step(process, value, exception)
                 continue
-            self._now = time
-            timer.callback()
+            if not heap:
+                break
+            entry = heap[0]
+            owner = entry[2]
+            if owner.__class__ is Timer:
+                if owner.cancelled:
+                    heappop(heap)
+                    self._dead_timers -= 1
+                    continue
+                if until is not None and entry[0] > until:
+                    break
+                heappop(heap)
+                self._live_timers -= 1
+                self._now = entry[0]
+                owner.callback()
+            else:
+                if owner._suspension is not entry:
+                    heappop(heap)
+                    self._dead_timers -= 1
+                    continue
+                if until is not None and entry[0] > until:
+                    break
+                heappop(heap)
+                self._live_timers -= 1
+                self._now = entry[0]
+                owner._suspension = None
+                step(owner, None, None)
         if until is not None and self._now < until:
             self._now = until
 
@@ -392,19 +578,65 @@ class Engine:
         raises :class:`SimulationError` on deadlock (event exhaustion while
         the process is still suspended).
         """
-        process = self.spawn(generator, name)
-        while not process.done and self._heap:
-            time, _seq, timer = heapq.heappop(self._heap)
-            if timer.cancelled:
+        target = self.spawn(generator, name)
+        heap = self._heap
+        runq = self._runq
+        heappop = heapq.heappop
+        step = self._step
+        while not target.done:
+            if runq:
+                if heap:
+                    entry = heap[0]
+                    owner = entry[2]
+                    if owner.__class__ is Timer:
+                        if owner.cancelled:
+                            heappop(heap)
+                            self._dead_timers -= 1
+                            continue
+                        if entry[0] <= self._now and entry[1] < runq[0][0]:
+                            heappop(heap)
+                            self._live_timers -= 1
+                            owner.callback()
+                            continue
+                    else:
+                        if owner._suspension is not entry:
+                            heappop(heap)
+                            self._dead_timers -= 1
+                            continue
+                        if entry[0] <= self._now and entry[1] < runq[0][0]:
+                            heappop(heap)
+                            self._live_timers -= 1
+                            owner._suspension = None
+                            step(owner, None, None)
+                            continue
+                _seq, process, value, exception = runq.popleft()
+                step(process, value, exception)
                 continue
-            self._now = time
-            timer.callback()
-        if not process.done:
+            if not heap:
+                break
+            entry = heappop(heap)
+            owner = entry[2]
+            if owner.__class__ is Timer:
+                if owner.cancelled:
+                    self._dead_timers -= 1
+                    continue
+                self._live_timers -= 1
+                self._now = entry[0]
+                owner.callback()
+            else:
+                if owner._suspension is not entry:
+                    self._dead_timers -= 1
+                    continue
+                self._live_timers -= 1
+                self._now = entry[0]
+                owner._suspension = None
+                step(owner, None, None)
+        if not target.done:
             raise SimulationError(
-                f"deadlock: process {process.name!r} never completed "
-                f"(waiting on {process._waiting_on})"
+                f"deadlock: process {target.name!r} never completed "
+                f"(waiting on {target.waiting_on()})"
             )
-        return process.result
+        return target.result
 
     # ------------------------------------------------------------------
     # Internal: resuming processes and interpreting effects
@@ -414,14 +646,9 @@ class Engine:
         process: Process,
         value: Any = None,
         exception: Optional[BaseException] = None,
-        first: bool = False,
     ) -> None:
-        def resume() -> None:
-            self._step(process, value, exception)
-
-        self.call_at(self._now, resume)
-        if not first:
-            process._pending_cancel = None
+        self._runq.append((self._seq_next(), process, value, exception))
+        process._suspension = None
 
     def _step(
         self,
@@ -429,39 +656,74 @@ class Engine:
         value: Any,
         exception: Optional[BaseException],
     ) -> None:
+        # Invariant: process._suspension is None here — every resume site
+        # (run-queue enqueue or heap pop) clears it before calling _step.
         generator = process._generator
-        process._pending_cancel = None
-        process._waiting_on = None
         previous = self.current_process
         self.current_process = process
         try:
-            try:
-                if exception is not None:
-                    effect = generator.throw(exception)
-                else:
-                    effect = generator.send(value)
-            except StopIteration as stop:
-                self._finish(process, result=stop.value)
-                return
-            except Exception as error:  # noqa: BLE001 - propagate via joiners
-                self._finish(process, error=error)
-                return
-            self._apply_effect(process, effect)
-        finally:
+            if exception is not None:
+                effect = generator.throw(exception)
+            else:
+                effect = generator.send(value)
+        except StopIteration as stop:
             self.current_process = previous
-
-    def _apply_effect(self, process: Process, effect: Any) -> None:
-        if isinstance(effect, Delay):
-            timer = self.call_later(
-                effect.seconds, lambda: self._step(process, None, None)
+            self._finish(process, result=stop.value)
+            return
+        except Exception as error:  # noqa: BLE001 - propagate via joiners
+            self.current_process = previous
+            self._finish(process, error=error)
+            return
+        # Exact-type dispatch, inline: effects are closed, slotted
+        # classes, so `is` checks cover every real yield without
+        # isinstance walks or an extra call frame.  current_process stays
+        # set through dispatch (Spawn's span parenting reads it).
+        cls = effect.__class__
+        if cls is Delay:
+            entry = (self._now + effect.seconds, self._seq_next(), process)
+            heapq.heappush(self._heap, entry)
+            self._live_timers += 1
+            process._suspension = entry
+        elif cls is Wait:
+            event = effect.event
+            event._add_waiter(process)
+            if not event._fired:
+                process._suspension = event
+        elif cls is Spawn:
+            child = self.spawn(effect.generator, effect.name)
+            self._runq.append((self._seq_next(), process, child, None))
+        elif cls is Join:
+            self._join(process, effect.process)
+        elif cls is AllOf:
+            self._join_all(process, effect.processes)
+        elif cls is FirstOf:
+            self._join_first(process, effect.processes)
+        elif cls is Acquire:
+            effect.resource._enqueue(process, effect.priority)
+        elif isinstance(effect, Effect):  # subclassed effect: slow path
+            self._apply_effect_slow(process, effect)
+        else:
+            self._finish(
+                process,
+                error=SimulationError(
+                    f"process {process.name!r} yielded non-effect "
+                    f"{effect!r}"
+                ),
             )
-            process._pending_cancel = timer.cancel
-            process._waiting_on = f"delay({effect.seconds:.3f}s)"
+        self.current_process = previous
+
+    def _apply_effect_slow(self, process: Process, effect: Effect) -> None:
+        """isinstance dispatch for Effect subclasses (cold path)."""
+        if isinstance(effect, Delay):
+            entry = (self._now + effect.seconds, self._seq_next(), process)
+            heapq.heappush(self._heap, entry)
+            self._live_timers += 1
+            process._suspension = entry
         elif isinstance(effect, Wait):
             event = effect.event
             event._add_waiter(process)
-            process._pending_cancel = lambda: event._remove_waiter(process)
-            process._waiting_on = f"event({event.name})"
+            if not event._fired:
+                process._suspension = event
         elif isinstance(effect, Spawn):
             child = self.spawn(effect.generator, effect.name)
             self._schedule_resume(process, value=child)
@@ -490,12 +752,7 @@ class Engine:
                 self._schedule_resume(waiter, value=target._result)
         else:
             target._completion_waiters.append(waiter)
-            waiter._pending_cancel = (
-                lambda: target._completion_waiters.remove(waiter)
-                if waiter in target._completion_waiters
-                else None
-            )
-            waiter._waiting_on = f"join({target.name})"
+            waiter._suspension = target
 
     def _join_all(self, waiter: Process, targets: list[Process]) -> None:
         def collector() -> Generator:
@@ -538,9 +795,15 @@ class Engine:
         process._error = error
         self._active -= 1
         waiters, process._completion_waiters = process._completion_waiters, []
-        for waiter in waiters:
+        if waiters:
+            runq = self._runq
+            seq_next = self._seq_next
             if error is not None:
                 process._error_observed = True
-                self._schedule_resume(waiter, exception=error)
+                for waiter in waiters:
+                    runq.append((seq_next(), waiter, None, error))
+                    waiter._suspension = None
             else:
-                self._schedule_resume(waiter, value=result)
+                for waiter in waiters:
+                    runq.append((seq_next(), waiter, result, None))
+                    waiter._suspension = None

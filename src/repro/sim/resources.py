@@ -74,11 +74,11 @@ class Resource:
     def _enqueue(self, process: "Process", priority: int) -> None:
         entry = (priority, next(self._sequence), process)
         heapq.heappush(self._queue, entry)
-        process._pending_cancel = lambda: self._drop(process)
-        process._waiting_on = f"acquire({self.name})"
+        process._suspension = self
         self._dispatch()
 
-    def _drop(self, process: "Process") -> None:
+    def _detach(self, process: "Process") -> None:
+        """Remove an interrupted process from the queue (engine callback)."""
         self._queue = [entry for entry in self._queue if entry[2] is not process]
         heapq.heapify(self._queue)
 

@@ -1,0 +1,137 @@
+"""Tests for the perf harness: microbenches, gate logic, trajectory, CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.perf.harness import (
+    append_trajectory,
+    gate_check,
+    load_baseline,
+    profile_target,
+)
+from repro.perf.microbench import MICROBENCHES, run_microbenches
+from repro.perf.scenarios import SCENARIOS, run_scenarios
+
+#: tiny event counts: these tests check plumbing, not throughput
+TINY = 0.002
+
+
+def test_microbenches_report_positive_throughput():
+    results = run_microbenches(scale=TINY, repeats=1)
+    assert set(results) == set(MICROBENCHES)
+    assert all(value > 0 for value in results.values())
+
+
+def test_microbench_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        run_microbenches(scale=0)
+    with pytest.raises(ValueError):
+        run_microbenches(repeats=0)
+
+
+def test_cold_read_scenario_runs():
+    results = run_scenarios(["cold_read"])
+    stats = results["cold_read"]
+    assert stats["wall_seconds"] > 0
+    assert stats["sim_seconds"] > 0
+    assert stats["read_seconds"] > 0
+
+
+def test_scenario_registry_has_the_three_canonical_workloads():
+    assert set(SCENARIOS) == {"cold_read", "longevity_slice", "chaos_campaign"}
+
+
+def test_gate_check_passes_at_baseline_and_fails_below():
+    baseline = {"delay_chain": 1000.0, "ping_pong": 2000.0}
+    assert gate_check({"delay_chain": 1000.0, "ping_pong": 2000.0},
+                      baseline) == []
+    # 30% tolerance: 699 < 700 fails, 701 passes
+    assert gate_check({"delay_chain": 701.0}, baseline) == []
+    failures = gate_check({"delay_chain": 699.0}, baseline)
+    assert len(failures) == 1 and "delay_chain" in failures[0]
+
+
+def test_gate_check_skips_unknown_benches_and_validates_tolerance():
+    baseline = {"delay_chain": 1000.0}
+    # a bench with no recorded baseline (or vice versa) is not a failure
+    assert gate_check({"new_bench": 1.0}, baseline) == []
+    with pytest.raises(ValueError):
+        gate_check({}, baseline, tolerance=1.5)
+
+
+def test_append_trajectory_creates_and_appends(tmp_path):
+    path = tmp_path / "BENCH_engine.json"
+    append_trajectory({"label": "first"}, str(path))
+    data = append_trajectory({"label": "second"}, str(path))
+    assert [entry["label"] for entry in data["trajectory"]] == [
+        "first", "second",
+    ]
+    on_disk = json.loads(path.read_text())
+    assert on_disk == data
+
+
+def test_load_baseline_round_trips(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"events_per_sec": {"delay_chain": 12345}}))
+    assert load_baseline(str(path)) == {"delay_chain": 12345.0}
+
+
+def test_profile_target_microbench_and_unknown():
+    report, stats = profile_target("delay_chain", top=5, scale=TINY)
+    assert "function calls" in report
+    assert stats is None
+    with pytest.raises(KeyError):
+        profile_target("no_such_target")
+
+
+def test_cli_bench_appends_and_gates(tmp_path, capsys):
+    out = tmp_path / "BENCH_engine.json"
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps({"events_per_sec": {"delay_chain": 1.0}}))
+    code = main([
+        "bench", "--scale", str(TINY), "--repeats", "1", "--no-scenarios",
+        "--out", str(out), "--label", "test-entry",
+        "--check", "--baseline", str(baseline),
+    ])
+    assert code == 0
+    printed = capsys.readouterr().out
+    assert "perf gate ok" in printed
+    data = json.loads(out.read_text())
+    assert data["trajectory"][0]["label"] == "test-entry"
+    assert set(data["trajectory"][0]["events_per_sec"]) == set(MICROBENCHES)
+
+
+def test_cli_bench_gate_failure_is_nonzero(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    # an absurd floor no machine can reach
+    baseline.write_text(
+        json.dumps({"events_per_sec": {"delay_chain": 1e15}})
+    )
+    code = main([
+        "bench", "--scale", str(TINY), "--repeats", "1", "--no-scenarios",
+        "--out", "", "--check", "--baseline", str(baseline),
+    ])
+    assert code == 1
+    assert "PERF GATE FAILED" in capsys.readouterr().out
+
+
+def test_cli_bench_missing_baseline_skips_gate(tmp_path, capsys):
+    code = main([
+        "bench", "--scale", str(TINY), "--repeats", "1", "--no-scenarios",
+        "--out", "", "--check", "--baseline", str(tmp_path / "nope.json"),
+    ])
+    assert code == 0
+    assert "SKIPPED" in capsys.readouterr().out
+
+
+def test_cli_profile_smoke(capsys):
+    assert main(["profile", "ping_pong", "--scale", str(TINY),
+                 "--top", "3"]) == 0
+    assert "function calls" in capsys.readouterr().out
+
+
+def test_cli_profile_unknown_target(capsys):
+    assert main(["profile", "bogus"]) == 2
+    assert "unknown profile target" in capsys.readouterr().out

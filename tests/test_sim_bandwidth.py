@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.sim import AllOf, Delay, Engine, SharedBandwidth, Spawn
+from repro.sim import AllOf, Delay, Engine, Join, SharedBandwidth, Spawn
 
 
 def make(capacity=100.0):
@@ -212,3 +212,85 @@ def test_property_completion_never_before_ideal(starts):
     engine.run_process(main())
     for size, elapsed in results:
         assert elapsed >= size / capacity - 1e-6
+
+
+# ----------------------------------------------------------------------
+# Fast-path regressions: pure bytes_moved, explicit settle, bounded heap
+# ----------------------------------------------------------------------
+def test_bytes_moved_read_is_pure():
+    """Reading the property mid-flight must not mutate the model."""
+    engine = Engine()
+    bw = SharedBandwidth(engine, capacity=100.0)
+
+    def mover():
+        yield from bw.transfer(1000.0)
+
+    def observer():
+        yield Delay(2.0)
+        first = bw.bytes_moved
+        second = bw.bytes_moved
+        assert first == second == 200.0
+        # the read settled nothing: internal progress marker unchanged
+        assert bw._last_settled == 0.0
+        assert bw._bytes_moved == 0.0
+        return first
+
+    def main():
+        proc = yield Spawn(mover())
+        value = yield Join((yield Spawn(observer())))
+        yield Join(proc)
+        return value
+
+    assert engine.run_process(main()) == 200.0
+    assert bw.bytes_moved == 1000.0
+
+
+def test_settle_is_the_explicit_mutating_form():
+    engine = Engine()
+    bw = SharedBandwidth(engine, capacity=100.0)
+
+    def mover():
+        yield from bw.transfer(1000.0)
+
+    def main():
+        proc = yield Spawn(mover())
+        yield Delay(3.0)
+        bw.settle()
+        assert bw._last_settled == 3.0
+        assert bw._bytes_moved == 300.0
+        assert bw.bytes_moved == 300.0  # property agrees after settling
+        yield Join(proc)
+
+    engine.run_process(main())
+
+
+def test_heap_stays_bounded_under_flow_churn():
+    """10k sequential transfers against a long-lived background flow.
+
+    Every arrival and completion cancels and re-arms the shared
+    completion timer; the seed engine left each cancelled entry in the
+    heap until its (far-future) fire time.  With compaction the heap
+    must stay small for the whole run.
+    """
+    engine = Engine()
+    bw = SharedBandwidth(engine, capacity=1e6)
+    max_heap = 0
+
+    def elephant():
+        # Big enough to stay active for the entire churn below.
+        yield from bw.transfer(1e9)
+
+    def churn():
+        nonlocal max_heap
+        for _ in range(10_000):
+            yield from bw.transfer(10.0)
+            max_heap = max(max_heap, len(engine._heap))
+
+    def main():
+        yield Spawn(elephant())
+        proc = yield Spawn(churn())
+        yield Join(proc)
+
+    engine.run_process(main())
+    assert max_heap <= 128, f"heap grew to {max_heap} entries"
+    assert engine.pending_timers <= 2

@@ -411,3 +411,188 @@ def test_interrupt_while_queued_on_resource():
         return result
 
     assert engine.run_process(main()) == "gave up"
+
+
+# ----------------------------------------------------------------------
+# Fast-path bookkeeping: O(1) is_idle, live-timer counter, compaction
+# ----------------------------------------------------------------------
+def test_is_idle_reflects_pending_timers():
+    engine = Engine()
+    assert engine.is_idle
+    timer = engine.call_later(5.0, lambda: None)
+    assert not engine.is_idle
+    assert engine.pending_timers == 1
+    timer.cancel()
+    assert engine.is_idle
+    assert engine.pending_timers == 0
+
+
+def test_is_idle_false_while_process_suspended():
+    engine = Engine()
+
+    def sleeper():
+        yield Delay(100.0)
+
+    engine.spawn(sleeper())
+    engine.run(until=1.0)
+    assert not engine.is_idle
+    engine.run()
+    assert engine.is_idle
+
+
+def test_cancelled_timer_heap_is_compacted():
+    engine = Engine()
+    timers = [engine.call_later(1000.0 + i, lambda: None) for i in range(500)]
+    keep = timers[::100]
+    for timer in timers:
+        if timer not in keep:
+            timer.cancel()
+    # Dead entries must not linger: the heap compacts once more than half
+    # of it is cancelled, so only the survivors (plus slack below the
+    # compaction minimum) remain.
+    assert engine.pending_timers == len(keep)
+    assert len(engine._heap) <= 64
+    engine.run()
+    assert engine.is_idle
+
+
+def test_interrupted_delay_leaves_no_live_timer():
+    engine = Engine()
+
+    def sleeper():
+        try:
+            yield Delay(1000.0)
+        except Interrupt:
+            return "woken"
+
+    def main():
+        proc = yield Spawn(sleeper())
+        yield Delay(0.1)
+        proc.interrupt()
+        result = yield Join(proc)
+        return result
+
+    assert engine.run_process(main()) == "woken"
+    assert engine.pending_timers == 0
+    assert engine.is_idle
+
+
+def test_interrupted_delay_entries_compact():
+    engine = Engine()
+    done = []
+
+    def sleeper():
+        try:
+            yield Delay(10_000.0)
+        except Interrupt:
+            done.append(1)
+
+    def main():
+        procs = []
+        for _ in range(300):
+            procs.append((yield Spawn(sleeper())))
+        yield Delay(0.1)
+        for proc in procs:
+            proc.interrupt()
+        yield AllOf(procs)
+
+    engine.run_process(main())
+    assert len(done) == 300
+    assert len(engine._heap) <= 64
+    assert engine.is_idle
+
+
+# ----------------------------------------------------------------------
+# Same-time FIFO ordering contract (property test)
+# ----------------------------------------------------------------------
+# The run-queue fast path must resume processes in exactly the order the
+# seed single-heap engine did: at one simulated instant, every scheduling
+# action (spawn, Delay(0), event succeed, post-fire wait) appends to one
+# global FIFO.  The reference interpreter below models precisely that; the
+# engine must produce an identical execution log for arbitrary interleaved
+# programs.
+from collections import deque as _deque
+from itertools import count as _count
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+_N_EVENTS = 3
+
+
+def _ops_strategy(depth: int):
+    base = st.one_of(
+        st.just(("delay0",)),
+        st.tuples(st.just("succeed"), st.integers(0, _N_EVENTS - 1)),
+        st.tuples(st.just("wait"), st.integers(0, _N_EVENTS - 1)),
+    )
+    if depth > 0:
+        base = st.one_of(
+            base, st.tuples(st.just("spawn"), _ops_strategy(depth - 1))
+        )
+    return st.lists(base, max_size=8)
+
+
+def _reference_order(root_ops):
+    """Pure-FIFO interpreter: the seed engine's same-time semantics."""
+    log = []
+    queue = _deque()
+    events = [{"fired": False, "waiters": []} for _ in range(_N_EVENTS)]
+    ids = _count(1)
+    queue.append((0, root_ops, 0))
+    while queue:
+        wid, ops, idx = queue.popleft()
+        while idx < len(ops):
+            op = ops[idx]
+            log.append((wid, idx))
+            idx += 1
+            kind = op[0]
+            if kind == "delay0":
+                queue.append((wid, ops, idx))
+                break
+            if kind == "succeed":
+                event = events[op[1]]
+                if not event["fired"]:
+                    event["fired"] = True
+                    queue.extend(event["waiters"])
+                    event["waiters"].clear()
+                continue
+            if kind == "wait":
+                event = events[op[1]]
+                if event["fired"]:
+                    queue.append((wid, ops, idx))
+                else:
+                    event["waiters"].append((wid, ops, idx))
+                break
+            if kind == "spawn":
+                queue.append((next(ids), op[1], 0))  # child starts first,
+                queue.append((wid, ops, idx))        # then the parent resumes
+                break
+    return log
+
+
+@settings(max_examples=60, deadline=None)
+@given(_ops_strategy(2))
+def test_property_same_time_fifo_matches_reference(root_ops):
+    engine = Engine()
+    events = [engine.event(f"e{i}") for i in range(_N_EVENTS)]
+    ids = _count(1)
+    log = []
+
+    def worker(wid, ops):
+        for idx, op in enumerate(ops):
+            log.append((wid, idx))
+            kind = op[0]
+            if kind == "delay0":
+                yield Delay(0)
+            elif kind == "succeed":
+                if not events[op[1]].fired:
+                    events[op[1]].succeed(None)
+            elif kind == "wait":
+                yield Wait(events[op[1]])
+            elif kind == "spawn":
+                yield Spawn(worker(next(ids), op[1]))
+
+    engine.spawn(worker(0, root_ops))
+    engine.run()
+    assert log == _reference_order(root_ops)
