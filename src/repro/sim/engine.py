@@ -186,6 +186,9 @@ class Timer:
         self.cancelled = False
 
     def cancel(self) -> None:
+        # The run loops set ``cancelled`` just before invoking a firing
+        # timer's callback, so cancel-after-fire is a no-op and the
+        # live/dead counters stay exact.
         if self.cancelled:
             return
         self.cancelled = True
@@ -472,7 +475,13 @@ class Engine:
         return self.call_at(self._now + delay, callback)
 
     def _compact_heap(self) -> None:
-        """Drop cancelled entries and re-heapify (same (time, seq) order)."""
+        """Drop cancelled entries and re-heapify (same (time, seq) order).
+
+        Compacts *in place*: ``run()``/``run_process()`` cache a ``heap``
+        alias at loop entry, and compaction can trigger mid-run (a timer
+        cancelled from a callback, ``Process.interrupt``), so rebinding
+        ``self._heap`` would strand the running loop on a stale list.
+        """
         alive = []
         for entry in self._heap:
             owner = entry[2]
@@ -482,7 +491,7 @@ class Engine:
             elif owner._suspension is entry:
                 alive.append(entry)
         heapq.heapify(alive)
-        self._heap = alive
+        self._heap[:] = alive
         self._dead_timers = 0
 
     def event(self, name: str = "") -> SimEvent:
@@ -523,6 +532,7 @@ class Engine:
                         if entry[0] <= self._now and entry[1] < runq[0][0]:
                             heappop(heap)
                             self._live_timers -= 1
+                            owner.cancelled = True  # consumed: see Timer.cancel
                             owner.callback()
                             continue
                     else:
@@ -553,6 +563,7 @@ class Engine:
                 heappop(heap)
                 self._live_timers -= 1
                 self._now = entry[0]
+                owner.cancelled = True  # consumed: see Timer.cancel
                 owner.callback()
             else:
                 if owner._suspension is not entry:
@@ -596,6 +607,7 @@ class Engine:
                         if entry[0] <= self._now and entry[1] < runq[0][0]:
                             heappop(heap)
                             self._live_timers -= 1
+                            owner.cancelled = True  # consumed: see Timer.cancel
                             owner.callback()
                             continue
                     else:
@@ -622,6 +634,7 @@ class Engine:
                     continue
                 self._live_timers -= 1
                 self._now = entry[0]
+                owner.cancelled = True  # consumed: see Timer.cancel
                 owner.callback()
             else:
                 if owner._suspension is not entry:
@@ -677,40 +690,45 @@ class Engine:
         # Exact-type dispatch, inline: effects are closed, slotted
         # classes, so `is` checks cover every real yield without
         # isinstance walks or an extra call frame.  current_process stays
-        # set through dispatch (Spawn's span parenting reads it).
-        cls = effect.__class__
-        if cls is Delay:
-            entry = (self._now + effect.seconds, self._seq_next(), process)
-            heapq.heappush(self._heap, entry)
-            self._live_timers += 1
-            process._suspension = entry
-        elif cls is Wait:
-            event = effect.event
-            event._add_waiter(process)
-            if not event._fired:
-                process._suspension = event
-        elif cls is Spawn:
-            child = self.spawn(effect.generator, effect.name)
-            self._runq.append((self._seq_next(), process, child, None))
-        elif cls is Join:
-            self._join(process, effect.process)
-        elif cls is AllOf:
-            self._join_all(process, effect.processes)
-        elif cls is FirstOf:
-            self._join_first(process, effect.processes)
-        elif cls is Acquire:
-            effect.resource._enqueue(process, effect.priority)
-        elif isinstance(effect, Effect):  # subclassed effect: slow path
-            self._apply_effect_slow(process, effect)
-        else:
-            self._finish(
-                process,
-                error=SimulationError(
-                    f"process {process.name!r} yielded non-effect "
-                    f"{effect!r}"
-                ),
-            )
-        self.current_process = previous
+        # set through dispatch (Spawn's span parenting reads it); the
+        # finally restores it even if a handler (resource._enqueue, a
+        # custom Effect) raises, so span parenting can't inherit a stale
+        # process.
+        try:
+            cls = effect.__class__
+            if cls is Delay:
+                entry = (self._now + effect.seconds, self._seq_next(), process)
+                heapq.heappush(self._heap, entry)
+                self._live_timers += 1
+                process._suspension = entry
+            elif cls is Wait:
+                event = effect.event
+                event._add_waiter(process)
+                if not event._fired:
+                    process._suspension = event
+            elif cls is Spawn:
+                child = self.spawn(effect.generator, effect.name)
+                self._runq.append((self._seq_next(), process, child, None))
+            elif cls is Join:
+                self._join(process, effect.process)
+            elif cls is AllOf:
+                self._join_all(process, effect.processes)
+            elif cls is FirstOf:
+                self._join_first(process, effect.processes)
+            elif cls is Acquire:
+                effect.resource._enqueue(process, effect.priority)
+            elif isinstance(effect, Effect):  # subclassed effect: slow path
+                self._apply_effect_slow(process, effect)
+            else:
+                self._finish(
+                    process,
+                    error=SimulationError(
+                        f"process {process.name!r} yielded non-effect "
+                        f"{effect!r}"
+                    ),
+                )
+        finally:
+            self.current_process = previous
 
     def _apply_effect_slow(self, process: Process, effect: Effect) -> None:
         """isinstance dispatch for Effect subclasses (cold path)."""

@@ -502,6 +502,66 @@ def test_interrupted_delay_entries_compact():
     assert engine.is_idle
 
 
+def test_mid_run_compaction_keeps_loop_heap_alive():
+    # Compaction must rebuild the heap *in place*: run()/run_process()
+    # cache a `heap` alias at loop entry, so a rebind mid-run (cancels
+    # from inside a running process) would strand the loop on a stale
+    # list and silently drop every later Delay.
+    engine = Engine()
+
+    def main():
+        timers = [
+            engine.call_later(10_000.0 + i, lambda: None) for i in range(200)
+        ]
+        yield Delay(0.1)  # enter the run loop with the heap alias cached
+        for timer in timers:
+            timer.cancel()  # drives the dead fraction past 50%: compaction
+        yield Delay(1.0)  # must land on the heap the loop is reading
+        return engine.now
+
+    assert engine.run_process(main()) == pytest.approx(1.1)
+    assert engine.is_idle
+    # Residual corpses below the compaction minimum are fine; a negative
+    # count would mean the loop drained a stale list.
+    assert 0 <= engine._dead_timers <= 64
+
+
+def test_cancel_after_fire_is_noop():
+    engine = Engine()
+    fired = []
+    timer = engine.call_later(1.0, lambda: fired.append(engine.now))
+    engine.run()
+    assert fired == [1.0]
+    timer.cancel()  # already consumed: must not touch the counters
+    timer.cancel()
+    assert engine.pending_timers == 0
+    assert engine.is_idle
+    engine.call_later(1.0, lambda: fired.append(engine.now))
+    assert engine.pending_timers == 1
+    engine.run()
+    assert fired == [1.0, 2.0]
+    assert engine._dead_timers == 0
+
+
+class _BrokenResource:
+    def _enqueue(self, process, priority):
+        raise RuntimeError("enqueue exploded")
+
+
+def test_effect_dispatch_exception_restores_current_process():
+    engine = Engine()
+
+    def proc():
+        yield Acquire(_BrokenResource())
+
+    engine.spawn(proc())
+    with pytest.raises(RuntimeError, match="enqueue exploded"):
+        engine.run()
+    # A handler blowing up mid-dispatch must not leave the dead process
+    # installed as the tracing context for later spawns.
+    assert engine.current_process is None
+
+
 # ----------------------------------------------------------------------
 # Same-time FIFO ordering contract (property test)
 # ----------------------------------------------------------------------
