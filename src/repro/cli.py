@@ -11,6 +11,7 @@ builds what it needs and prints a report:
     reliability  §4.7 array error rates and §4.2 MV sizing
     power        §5.1 power corner points
     trace        run a traced scenario, print the span tree, export JSON
+    monitor      run a scenario under full monitoring, emit the run report
     chaos        seeded fault-injection campaign with invariant checks
     bench        engine events/s + scenario wall-clock, perf-gate check
     profile      cProfile a scenario or microbench, top-N hotspots
@@ -168,28 +169,32 @@ def cmd_power(_args) -> int:
     return 0
 
 
-#: Scenarios ``python -m repro trace`` can run.
+#: Scenarios ``python -m repro trace`` / ``python -m repro monitor`` can run.
 TRACE_SCENARIOS = ("cold-read", "write-burn", "ops")
 
 
-def cmd_trace(args) -> int:
-    """Run one traced scenario end to end and report its span trees."""
+def _small_traced_ros(seed: int, monitoring: bool = False,
+                      monitor_period: float = 5.0):
     from repro import ROS, OLFSConfig
-    from repro.sim.tracing import to_chrome_trace, to_flat_json
 
     config = OLFSConfig(
         data_discs_per_array=3, parity_discs_per_array=1
     ).scaled_for_tests(bucket_capacity=64 * 1024)
-    ros = ROS(
+    return ROS(
         config=config,
         roller_count=1,
         buffer_volume_capacity=200 * units.MB,
         tracing=True,
-        trace_seed=args.seed,
+        trace_seed=seed,
+        monitoring=monitoring,
+        monitor_period=monitor_period,
     )
-    tracer = ros.tracer
 
-    if args.scenario == "cold-read":
+
+def _run_scenario(ros, scenario: str) -> str:
+    """Drive one canonical scenario; returns its headline summary line."""
+    tracer = ros.tracer
+    if scenario == "cold-read":
         for index in range(3):
             ros.write(f"/trace/file-{index}.bin", bytes([index]) * 9000)
         ros.flush()
@@ -198,36 +203,88 @@ def cmd_trace(args) -> int:
         tracer.clear()
         result = ros.read(path)
         ros.drain_background()
-        print(
+        return (
             f"cold read served from {result.source} in "
             f"{result.total_seconds:.3f} s\n"
         )
-    elif args.scenario == "write-burn":
+    if scenario == "write-burn":
         tracer.clear()
         for index in range(3):
             ros.write(f"/trace/file-{index}.bin", bytes([index]) * 9000)
         ros.flush()
         ros.drain_background()
-        print(f"3 files written and burned in {ros.now:.1f} s (simulated)\n")
-    else:  # ops: the Figure-7 sequence, everything warm
-        ros.mkdir("/trace")
-        ros.write("/trace/warm.bin", b"w" * 4096)
-        tracer.clear()
-        ros.stat("/trace/warm.bin")
-        ros.read("/trace/warm.bin")
-        ros.readdir("/trace")
-        print("stat/read/readdir on a warm file\n")
+        return f"3 files written and burned in {ros.now:.1f} s (simulated)\n"
+    # ops: the Figure-7 sequence, everything warm
+    ros.mkdir("/trace")
+    ros.write("/trace/warm.bin", b"w" * 4096)
+    tracer.clear()
+    ros.stat("/trace/warm.bin")
+    ros.read("/trace/warm.bin")
+    ros.readdir("/trace")
+    return "stat/read/readdir on a warm file\n"
+
+
+def cmd_trace(args) -> int:
+    """Run one traced scenario end to end and report its span trees."""
+    from repro.sim.tracing import to_chrome_trace, to_flat_json
+
+    ros = _small_traced_ros(args.seed)
+    tracer = ros.tracer
+    print(_run_scenario(ros, args.scenario))
 
     for root in tracer.roots():
         print(tracer.render_tree(root))
         print()
     print(f"{len(tracer.spans)} spans recorded")
+    snapshot = ros.metrics.snapshot()
+    histograms = sum(
+        1 for value in snapshot.values() if isinstance(value, dict)
+    )
+    print(f"metrics: {len(snapshot)} registered "
+          f"({len(snapshot) - histograms} counters/gauges, "
+          f"{histograms} histograms)")
 
     if args.out:
-        exporter = to_chrome_trace if args.format == "chrome" else to_flat_json
+        if args.format == "prom":
+            from repro.obs import to_prometheus
+
+            exported = to_prometheus(ros.metrics)
+        else:
+            exporter = (
+                to_chrome_trace if args.format == "chrome" else to_flat_json
+            )
+            exported = exporter(tracer)
         with open(args.out, "w") as handle:
-            handle.write(exporter(tracer))
+            handle.write(exported)
         print(f"wrote {args.format} trace to {args.out}")
+    return 0
+
+
+def cmd_monitor(args) -> int:
+    """Run a scenario under full monitoring; emit the run report."""
+    from repro.obs import build_report, render_report, report_json
+
+    ros = _small_traced_ros(
+        args.seed, monitoring=True, monitor_period=args.period
+    )
+    print(_run_scenario(ros, args.scenario))
+
+    report = build_report(ros, monitor=ros.monitor, recorder=ros.recorder)
+    print(render_report(report))
+
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report_json(report) + "\n")
+        print(f"wrote run report to {args.out}")
+    if args.flight_out:
+        count = ros.recorder.dump(args.flight_out)
+        print(f"wrote {count} flight-recorder events to {args.flight_out}")
+
+    slo = report.get("monitor", {}).get("slo")
+    violations = slo["violation_count"] if slo else 0
+    if violations:
+        print(f"SLO VIOLATIONS: {violations}")
+        return 1
     return 0
 
 
@@ -243,7 +300,13 @@ def cmd_chaos(args) -> int:
 
     runs = []
     for _ in range(max(1, args.campaigns)):
-        report = run_campaign(args.seed, args.ops, intensity=args.intensity)
+        report = run_campaign(
+            args.seed,
+            args.ops,
+            intensity=args.intensity,
+            monitor=args.monitor,
+            flight_out=args.flight_out,
+        )
         runs.append(report_to_json(report))
     identical = all(run == runs[0] for run in runs[1:])
     report = json.loads(runs[0])
@@ -262,6 +325,15 @@ def cmd_chaos(args) -> int:
         mark = "ok" if inv["ok"] else "VIOLATED"
         print(f"  invariant {inv['invariant']}: {mark} "
               f"(checked {inv['detail'].get('checked', '-')})")
+    monitor_section = report.get("monitor")
+    if monitor_section is not None:
+        slo = monitor_section.get("slo") or {}
+        recorder = report.get("flight_recorder", {})
+        print(f"  monitor: {monitor_section['samples']} health samples, "
+              f"{slo.get('violation_count', 0)} SLO violation(s), "
+              f"{recorder.get('recorded', 0)} flight events")
+        if "flight_dump" in report:
+            print(f"  flight recorder dumped to {report['flight_dump']}")
     if args.out:
         with open(args.out, "w") as handle:
             handle.write(runs[0])
@@ -294,6 +366,7 @@ def cmd_bench(args) -> int:
         scale=args.scale,
         repeats=args.repeats,
         scenarios=not args.no_scenarios,
+        monitor=args.monitor,
     )
     if args.label:
         entry["label"] = args.label
@@ -304,8 +377,16 @@ def cmd_bench(args) -> int:
     ]
     _print_rows(rows)
     for name, stats in entry.get("scenarios", {}).items():
+        # Keep the (large) attached run report out of the trajectory file.
+        report = stats.pop("run_report", None)
         print(f"scenario {name}: {stats['wall_seconds']:.3f} s wall "
               f"(sim {stats.get('sim_seconds', '-')} s)")
+        if report is not None:
+            monitor_section = report.get("monitor") or {}
+            slo = monitor_section.get("slo") or {}
+            print(f"  run report: {monitor_section.get('samples', 0)} health "
+                  f"sample(s), {slo.get('violation_count', 0)} SLO "
+                  f"violation(s)")
 
     if args.out:
         append_trajectory(entry, args.out)
@@ -394,12 +475,30 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--out", help="write the exported trace here")
     trace.add_argument(
         "--format",
-        choices=("chrome", "flat"),
+        choices=("chrome", "flat", "prom"),
         default="chrome",
-        help="export format (chrome://tracing JSON or a flat span list)",
+        help="export format (chrome://tracing JSON, a flat span list, "
+             "or Prometheus metrics exposition)",
     )
     trace.add_argument("--seed", type=int, default=0x7ACE)
     trace.set_defaults(handler=cmd_trace)
+
+    monitor = sub.add_parser(
+        "monitor", help="run a scenario under monitoring, emit the report"
+    )
+    monitor.add_argument(
+        "--scenario",
+        choices=TRACE_SCENARIOS,
+        default="cold-read",
+        help="what to run under the monitor (default cold-read)",
+    )
+    monitor.add_argument("--seed", type=int, default=0x7ACE)
+    monitor.add_argument("--period", type=float, default=5.0,
+                         help="health sampling period, simulated seconds")
+    monitor.add_argument("--out", help="write the JSON run report here")
+    monitor.add_argument("--flight-out",
+                         help="dump the flight recorder (JSONL) here")
+    monitor.set_defaults(handler=cmd_monitor)
 
     chaos = sub.add_parser(
         "chaos", help="seeded fault campaign + invariant audit"
@@ -412,6 +511,12 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--intensity", type=float, default=1.0,
                        help="fault-plan hazard multiplier")
     chaos.add_argument("--out", help="write the JSON report here")
+    chaos.add_argument("--monitor", action="store_true",
+                       help="attach run monitoring (health sampler, SLO "
+                            "watchdog, flight recorder) to each campaign")
+    chaos.add_argument("--flight-out",
+                       help="flight-recorder dump path on invariant failure "
+                            "(default chaos-flight-<seed>.jsonl)")
     chaos.set_defaults(handler=cmd_chaos)
 
     bench = sub.add_parser(
@@ -428,6 +533,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default BENCH_engine.json; '' to skip)")
     bench.add_argument("--no-scenarios", action="store_true",
                        help="microbenches only, skip wall-clock scenarios")
+    bench.add_argument("--monitor", action="store_true",
+                       help="attach run monitoring to the scenarios and "
+                            "print their run-report summaries")
     bench.add_argument("--check", action="store_true",
                        help="fail if events/s drops below the baseline gate")
     bench.add_argument("--baseline", default="benchmarks/perf/baseline.json",

@@ -14,7 +14,6 @@ as a Pseudo-Over-Write track, and the remainder is appended later.
 from __future__ import annotations
 
 import enum
-import warnings
 from dataclasses import dataclass
 from typing import Generator, Optional, TYPE_CHECKING
 
@@ -74,9 +73,6 @@ class OpticalDrive:
         self.read_efficiency = read_efficiency
         self.busy_seconds = 0.0
         self._interrupt_requested = False
-        #: forced burn faults pending (the deprecated
-        #: ``inject_burn_failure`` shim arms one; prefer ``repro.faults``)
-        self._forced_burn_faults = 0
         #: spindle power policy: after this many idle seconds the drive
         #: drops to SLEEPING and the next access pays the 2 s spin-up
         #: (§5.4: the spin-up and VFS mount "occur only when the drive is
@@ -95,7 +91,7 @@ class OpticalDrive:
     def open_tray(self) -> None:
         if self.state in (DriveState.BURNING, DriveState.READING):
             raise DriveError(f"{self.drive_id}: busy, cannot open tray")
-        self.state = DriveState.TRAY_OPEN
+        self._transition(DriveState.TRAY_OPEN, "open_tray")
 
     def insert_disc(self, disc: OpticalDisc) -> None:
         if self.state is not DriveState.TRAY_OPEN:
@@ -103,12 +99,15 @@ class OpticalDrive:
         if self.disc is not None:
             raise DriveError(f"{self.drive_id}: already holds a disc")
         self.disc = disc
-        self.state = DriveState.TRAY_OPEN
+        self._transition(DriveState.TRAY_OPEN, "insert_disc")
 
     def close_tray(self) -> None:
         if self.state is not DriveState.TRAY_OPEN:
             raise DriveError(f"{self.drive_id}: tray is not open")
-        self.state = DriveState.SLEEPING if self.disc else DriveState.EMPTY
+        self._transition(
+            DriveState.SLEEPING if self.disc else DriveState.EMPTY,
+            "close_tray",
+        )
 
     def remove_disc(self) -> OpticalDisc:
         if self.state is not DriveState.TRAY_OPEN:
@@ -121,23 +120,20 @@ class OpticalDrive:
     def sleep(self) -> None:
         """Stop the spindle (drives sleep when idle to save power)."""
         if self.state in (DriveState.IDLE, DriveState.MOUNTED):
-            self.state = DriveState.SLEEPING
+            self._transition(DriveState.SLEEPING, "sleep")
 
-    @property
-    def inject_burn_failure(self) -> bool:
-        """Deprecated: use a ``FaultPlan`` / ``FaultInjector.inject`` with
-        kind ``drive.burn_transient`` (see :mod:`repro.faults`)."""
-        return self._forced_burn_faults > 0
-
-    @inject_burn_failure.setter
-    def inject_burn_failure(self, value: bool) -> None:
-        warnings.warn(
-            "OpticalDrive.inject_burn_failure is deprecated; inject "
-            "'drive.burn_transient' through repro.faults.FaultInjector",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        self._forced_burn_faults = 1 if value else 0
+    def _transition(self, state: DriveState, reason: str) -> None:
+        """Change state, journalling the edge to the flight recorder."""
+        if state is self.state:
+            return
+        if self.engine.recorder.enabled:
+            self.engine.recorder.record(
+                "drive.transition",
+                drive_id=self.drive_id,
+                reason=reason,
+                **{"from": self.state.value, "to": state.value},
+            )
+        self.state = state
 
     def _check_op_fault(self) -> None:
         """Raise if the fault injector has an armed 'drive.op' fault."""
@@ -169,7 +165,7 @@ class OpticalDrive:
             and self.state in (DriveState.IDLE, DriveState.MOUNTED)
             and self.engine.now - self._last_active >= self.idle_sleep_seconds
         ):
-            self.state = DriveState.SLEEPING
+            self._transition(DriveState.SLEEPING, "idle_policy")
             self._just_mounted = False
 
     def ensure_spinning(self) -> Generator:
@@ -182,7 +178,7 @@ class OpticalDrive:
             ):
                 yield Delay(SPIN_UP_SECONDS)
             self.busy_seconds += SPIN_UP_SECONDS
-            self.state = DriveState.IDLE
+            self._transition(DriveState.IDLE, "spin_up")
         self._last_active = self.engine.now
 
     def mount(self) -> Generator:
@@ -196,7 +192,7 @@ class OpticalDrive:
             ):
                 yield Delay(VFS_MOUNT_SECONDS)
             self.busy_seconds += VFS_MOUNT_SECONDS
-            self.state = DriveState.MOUNTED
+            self._transition(DriveState.MOUNTED, "mount")
             self._just_mounted = True
         self._last_active = self.engine.now
 
@@ -231,7 +227,7 @@ class OpticalDrive:
             raise DriveError(f"{self.drive_id}: disc not mounted")
         self._check_op_fault()
         seconds = nbytes / self.read_rate()
-        self.state = DriveState.READING
+        self._transition(DriveState.READING, "read")
         try:
             with self.engine.trace.span(
                 "drive.read",
@@ -241,7 +237,7 @@ class OpticalDrive:
                 yield Delay(seconds)
         finally:
             self.busy_seconds += seconds
-            self.state = DriveState.MOUNTED
+            self._transition(DriveState.MOUNTED, "read_done")
             self._last_active = self.engine.now
 
     def read_track_payload(self, track_index: int) -> Generator:
@@ -289,7 +285,7 @@ class OpticalDrive:
             seed = zlib.crc32(self.disc.disc_id.encode()) & 0xFFFF
             curve = curve_for(self.disc.disc_type, seed=seed)
         start_progress = self.disc.used_bytes / self.disc.capacity
-        self.state = DriveState.BURNING
+        self._transition(DriveState.BURNING, "burn")
         self._interrupt_requested = False
         started = self.engine.now
         burned = 0.0
@@ -308,12 +304,6 @@ class OpticalDrive:
                     factor = throttle.factor()
                 yield Delay(segment.seconds / factor)
                 burned += segment.nbytes
-                if self._forced_burn_faults > 0:
-                    self._forced_burn_faults -= 1
-                    raise DriveError(
-                        f"{self.drive_id}: write error at "
-                        f"{segment.end_progress:.0%} (injected fault)"
-                    )
                 fault = self.engine.faults.check(
                     "drive.burn", self.drive_id
                 ) or self.engine.faults.check("drive.op", self.drive_id)
@@ -329,7 +319,7 @@ class OpticalDrive:
             if throttle is not None:
                 throttle.remove(self)
             self.busy_seconds += self.engine.now - started
-            self.state = DriveState.IDLE
+            self._transition(DriveState.IDLE, "burn_done")
             self._last_active = self.engine.now
             if self._interrupt_requested:
                 burn_span.tag("interrupted", True)
@@ -352,6 +342,16 @@ class OpticalDrive:
         return BurnResult(True, float(size), self.engine.now - started, track)
 
     # ------------------------------------------------------------------
+    def health(self) -> dict:
+        """Cheap read-only snapshot for the system monitor."""
+        return {
+            "drive_id": self.drive_id,
+            "state": self.state.value,
+            "disc": self.disc.disc_id if self.disc else None,
+            "busy_seconds": round(self.busy_seconds, 6),
+            "interrupt_requested": self._interrupt_requested,
+        }
+
     def _require_disc(self) -> None:
         if self.disc is None:
             raise DriveError(f"{self.drive_id}: no disc loaded")

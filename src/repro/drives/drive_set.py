@@ -250,6 +250,35 @@ class DriveSet:
         self.set_group_read_mode(1)
         return payloads
 
+    def health(self) -> dict:
+        """Aggregate snapshot: per-drive states plus set-level occupancy."""
+        from repro.drives.drive import DriveState
+
+        states: dict[str, int] = {}
+        for drive in self.drives:
+            states[drive.state.value] = states.get(drive.state.value, 0) + 1
+        return {
+            "set_id": self.set_id,
+            "drives": len(self.drives),
+            "loaded": sum(1 for d in self.drives if d.has_disc),
+            "burning": sum(
+                1 for d in self.drives if d.state is DriveState.BURNING
+            ),
+            "reading": sum(
+                1 for d in self.drives if d.state is DriveState.READING
+            ),
+            "states": dict(sorted(states.items())),
+            "loaded_from": (
+                [self.loaded_from[0], list(self.loaded_from[1])]
+                if self.loaded_from is not None
+                else None
+            ),
+            "throttle_demand_mb_s": round(
+                self.throttle.total_demand / units.MB, 3
+            ),
+            "per_drive": [drive.health() for drive in self.drives],
+        }
+
     def __repr__(self) -> str:
         return (
             f"<DriveSet {self.set_id}: "

@@ -29,7 +29,7 @@ from repro.sim.rng import DeterministicRNG
 THINK_MEAN_SECONDS = 2.0
 
 
-def build_ros(seed: int, plan: FaultPlan):
+def build_ros(seed: int, plan: FaultPlan, monitor: bool = False):
     """The campaign rack: the scaled-for-tests rig with tracing + faults."""
     from repro import OLFSConfig, ROS
 
@@ -47,6 +47,7 @@ def build_ros(seed: int, plan: FaultPlan):
         trace_seed=seed,
         fault_plan=plan,
         fault_seed=seed,
+        monitoring=monitor,
     )
 
 
@@ -135,12 +136,28 @@ def _repair(ros) -> None:
     ros.settle()
 
 
-def run_campaign(seed: int, ops: int, intensity: float = 1.0) -> dict:
-    """One full chaos campaign; returns the (JSON-safe) report dict."""
+def run_campaign(
+    seed: int,
+    ops: int,
+    intensity: float = 1.0,
+    monitor: bool = False,
+    flight_out: str | None = None,
+) -> dict:
+    """One full chaos campaign; returns the (JSON-safe) report dict.
+
+    ``monitor=True`` attaches the :mod:`repro.obs` run monitoring — a
+    flight recorder plus the periodic health sampler — and extends the
+    report with ``monitor`` / ``flight_recorder`` sections.  When an
+    invariant fails under monitoring, the flight recorder dumps its ring
+    to ``flight_out`` (default ``chaos-flight-<seed>.jsonl``) so the
+    events leading up to the failure survive the process.  The default
+    (``monitor=False``) leaves both the run and the report byte-identical
+    to an unmonitored build.
+    """
     horizon = max(600.0, ops * 5.0)
     rng = DeterministicRNG(seed).child("chaos")
     plan = FaultPlan.randomized(rng.child("plan"), horizon, intensity=intensity)
-    ros = build_ros(seed, plan)
+    ros = build_ros(seed, plan, monitor=monitor)
     injector = ros.fault_injector
 
     acked: dict = {}
@@ -154,9 +171,13 @@ def run_campaign(seed: int, ops: int, intensity: float = 1.0) -> dict:
     injector.stop()
     _repair(ros)
 
+    # Finish the monitor *before* the invariant audit: I2 demands a fully
+    # drained engine, which the (perpetual) health sampler would deny.
+    monitor_summary = ros.monitor.finish() if ros.monitor is not None else None
+
     invariants = check_all(ros, acked)
     ok = not violations and all(inv["ok"] for inv in invariants)
-    return {
+    report = {
         "seed": seed,
         "ops": ops,
         "intensity": intensity,
@@ -170,6 +191,18 @@ def run_campaign(seed: int, ops: int, intensity: float = 1.0) -> dict:
         "invariants": invariants,
         "ok": ok,
     }
+    if monitor_summary is not None:
+        report["monitor"] = monitor_summary
+        report["flight_recorder"] = {
+            "events": len(ros.recorder),
+            "recorded": ros.recorder.recorded,
+            "dropped": ros.recorder.dropped,
+        }
+        if not ok:
+            dump_path = flight_out or f"chaos-flight-{seed}.jsonl"
+            ros.recorder.dump(dump_path)
+            report["flight_dump"] = dump_path
+    return report
 
 
 def report_to_json(report: dict) -> str:

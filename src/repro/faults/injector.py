@@ -128,7 +128,7 @@ class FaultInjector:
         return None
 
     # ------------------------------------------------------------------
-    # Imperative API (tests and the deprecated drive-flag shim)
+    # Imperative API (tests and ad-hoc experiments)
     # ------------------------------------------------------------------
     def inject(
         self,
@@ -337,6 +337,25 @@ class FaultInjector:
         return None
 
     # ------------------------------------------------------------------
+    def health(self) -> dict:
+        """Cheap read-only snapshot for the system monitor."""
+        return {
+            "active": self._active,
+            "drivers": len(self._drivers),
+            "drivers_live": sum(
+                1 for process in self._drivers if not process.done
+            ),
+            "oneshots_armed": sum(
+                len(queue) for queue in self._oneshots.values()
+            ),
+            "windows_open": sum(
+                1
+                for _site, _target, until, _spec in self._windows
+                if until > self.engine.now
+            ),
+            "events_logged": len(self.log),
+        }
+
     def _log(self, event: str, kind: str, target: str, **extra) -> None:
         entry = {
             "t": round(self.engine.now, 6),
@@ -349,3 +368,14 @@ class FaultInjector:
                 extra[key], float
             ) else extra[key]
         self.log.append(entry)
+        # Mirror the injection journal into the flight recorder so a dump
+        # interleaves faults with the transitions/retries they caused.
+        # The spec's own "kind" becomes "fault_kind": the recorder keeps
+        # "kind" for the event-stream taxonomy ("fault.arm", "fault.trip").
+        if self.engine.recorder.enabled:
+            fields = {
+                key: value for key, value in entry.items() if key != "t"
+            }
+            fields["fault_kind"] = fields.pop("kind")
+            self.engine.recorder.record("fault." + fields.pop("event"),
+                                        **fields)

@@ -136,6 +136,17 @@ class RoboticArm:
             yield Delay(self.timings.collect_one())
         self.holding.append(disc)
 
+    def health(self) -> dict:
+        """Cheap read-only snapshot for the system monitor."""
+        return {
+            "arm_id": self.arm_id,
+            "layer": self.layer,
+            "holding": len(self.holding),
+            "hooked": self.hooked,
+            "moves": self.moves,
+            "travel_seconds": round(self.travel_seconds, 6),
+        }
+
     def __repr__(self) -> str:
         return (
             f"<RoboticArm {self.arm_id} layer={self.layer} "

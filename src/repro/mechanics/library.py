@@ -122,6 +122,24 @@ class MechanicalSubsystem:
         )
         return in_rollers + in_drives
 
+    def health(self) -> dict:
+        """Aggregate snapshot of the whole mechanical subsystem."""
+        return {
+            "rollers": [roller.health() for roller in self.rollers],
+            "arms": [arm.health() for arm in self.arms],
+            "plc": self.plc.health(),
+            "channel": self.channel.health(),
+            "arm_queues": [
+                {
+                    "roller": index,
+                    "available": lock.available,
+                    "queue_length": lock.queue_length,
+                }
+                for index, lock in enumerate(self._arm_locks)
+            ],
+            "drive_sets": [ds.health() for ds in self.drive_sets],
+        }
+
     # ------------------------------------------------------------------
     # Composite operations (simulation processes)
     # ------------------------------------------------------------------

@@ -146,6 +146,22 @@ class Roller:
         """Energy spent rotating so far (50 W while turning)."""
         return ROTATION_POWER_W * self.rotation_seconds
 
+    def health(self) -> dict:
+        """Cheap read-only snapshot for the system monitor."""
+        return {
+            "roller_id": self.roller_id,
+            "facing_slot": self.facing_slot,
+            "aligned": self.aligned,
+            "fanned_out": (
+                [self._fanned_out.layer, self._fanned_out.slot]
+                if self._fanned_out is not None
+                else None
+            ),
+            "rotation_count": self.rotation_count,
+            "rotation_seconds": round(self.rotation_seconds, 6),
+            "discs": self.disc_count(),
+        }
+
     def __repr__(self) -> str:
         return (
             f"<Roller {self.roller_id}: {self.disc_count()} discs, "

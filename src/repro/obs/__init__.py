@@ -1,0 +1,40 @@
+"""repro.obs — observability: health API, flight recorder, SLO watchdog.
+
+Sits on top of the tracer/metrics/engine triad from :mod:`repro.sim`:
+
+* :class:`SystemMonitor` samples every subsystem's ``health()`` snapshot
+  on the simulated clock and keeps a bounded timeline.
+* :class:`FlightRecorder` journals structured events (drive transitions,
+  PLC instructions, cache evictions, retries, fault injections) into a
+  ring buffer dumpable as JSONL — automatically on chaos-invariant
+  failure.
+* :class:`SLOWatchdog` audits the span stream live against the paper's
+  envelopes (:data:`PAPER_SLOS`: Table 1, Table 3, §5.4/§5.5, Fig 8).
+* :func:`to_prometheus` renders a ``MetricsRegistry`` in Prometheus text
+  exposition format.
+
+Everything defaults to *off*: ``engine.recorder`` is the no-op
+:data:`~repro.sim.engine.NULL_RECORDER` until a recorder is installed,
+and an un-monitored run is byte-identical to one before this module
+existed.
+"""
+
+from repro.obs.health import SystemMonitor
+from repro.obs.recorder import FlightRecorder
+from repro.obs.report import build_report, render_report, report_json, top_spans
+from repro.obs.slo import PAPER_SLOS, SLO, SLOWatchdog, evaluate
+from repro.obs.prometheus import to_prometheus
+
+__all__ = [
+    "SystemMonitor",
+    "FlightRecorder",
+    "SLO",
+    "SLOWatchdog",
+    "PAPER_SLOS",
+    "evaluate",
+    "build_report",
+    "render_report",
+    "report_json",
+    "top_spans",
+    "to_prometheus",
+]

@@ -1,0 +1,140 @@
+"""System health monitor: periodic deep snapshots of every subsystem.
+
+Every major subsystem exposes ``health() -> dict`` — a cheap, read-only
+snapshot of its state machine, queue depths, occupancy and fault
+counters.  :class:`SystemMonitor` aggregates those snapshots on the
+simulated clock (riding the existing :class:`~repro.sim.telemetry.Sampler`
+machinery via its ``on_tick`` hook, so one background process drives both
+the numeric series and the health timeline), keeps a bounded timeline of
+them, and polls an :class:`~repro.obs.slo.SLOWatchdog` on the same
+cadence so paper-envelope violations are caught *while the run executes*,
+not in a post-hoc sweep.
+
+The monitor is strictly an observer: probes and snapshots never yield,
+draw random numbers, or mutate subsystem state, so two runs of the same
+seed with and without a monitor differ only by the sampler process's
+sequence numbers — and not at all when the monitor is absent (the
+default), which is what keeps the chaos corpus byte-identical.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from contextlib import contextmanager
+from typing import Iterable, Optional
+
+from repro.obs.recorder import FlightRecorder
+from repro.obs.slo import PAPER_SLOS, SLO, SLOWatchdog
+from repro.sim.telemetry import Sampler
+
+#: Default sampling period (simulated seconds): fine enough to catch a
+#: mechanical phase in flight, coarse enough to stay out of the way.
+DEFAULT_PERIOD = 5.0
+
+#: Bounded health-timeline length (ring, like the flight recorder).
+DEFAULT_TIMELINE_CAPACITY = 512
+
+
+class SystemMonitor:
+    """Aggregates subsystem ``health()`` snapshots over simulated time."""
+
+    def __init__(
+        self,
+        ros,
+        period: float = DEFAULT_PERIOD,
+        slos: Iterable[SLO] = PAPER_SLOS,
+        timeline_capacity: int = DEFAULT_TIMELINE_CAPACITY,
+        recorder: Optional[FlightRecorder] = None,
+    ):
+        self.ros = ros
+        self.engine = ros.engine
+        self.recorder = recorder
+        self.timeline: deque[dict] = deque(maxlen=timeline_capacity)
+        self.watchdog: Optional[SLOWatchdog] = (
+            SLOWatchdog(self.engine.trace, slos)
+            if self.engine.trace.enabled
+            else None
+        )
+        self._finished = False
+        self.sampler = Sampler(
+            self.engine,
+            period=period,
+            probes={
+                "cache_images": lambda: len(ros.cache),
+                "burning_drives": lambda: sum(
+                    1 for ds in ros.mech.drive_sets if ds.is_burning
+                ),
+                "burn_tasks": lambda: len(ros.btm.active_tasks),
+                "mech_queue": lambda: sum(
+                    lock.queue_length for lock in ros.mc._locks.values()
+                ),
+            },
+            on_tick=self._tick,
+        )
+
+    # ------------------------------------------------------------------
+    def start(self) -> "SystemMonitor":
+        if not self._finished:
+            self.sampler.start()
+        return self
+
+    def stop(self) -> None:
+        self.sampler.stop()
+
+    @contextmanager
+    def paused(self):
+        """Suspend sampling across a full engine drain.
+
+        The sampler's perpetual ``Delay`` would keep a no-horizon
+        ``engine.run()`` alive forever; pause it for the drain, then
+        resume on the (now later) clock.
+        """
+        self.stop()
+        try:
+            yield self
+        finally:
+            self.start()
+
+    def __enter__(self) -> "SystemMonitor":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    def _tick(self, now: float) -> None:
+        self.timeline.append(self.snapshot())
+        if self.watchdog is not None:
+            for violation in self.watchdog.poll():
+                if self.recorder is not None:
+                    self.recorder.record("slo.violation", **violation)
+
+    def snapshot(self) -> dict:
+        """One aggregated health snapshot, stamped with the clock."""
+        snap = {"t": round(self.engine.now, 6)}
+        snap.update(self.ros.health())
+        return snap
+
+    # ------------------------------------------------------------------
+    def finish(self) -> dict:
+        """Final poll + summary: call once after the run settles.
+
+        Terminal: the sampler will not restart (``start`` and ``paused``
+        become no-ops), so a drained engine stays drained.
+        """
+        self._finished = True
+        self.stop()
+        final = self.snapshot()
+        slo = self.watchdog.summary() if self.watchdog is not None else None
+        return {
+            "samples": len(self.timeline),
+            "final": final,
+            "slo": slo,
+            "series": {
+                name: {
+                    "peak": self.sampler.peak(name),
+                    "mean": round(self.sampler.mean(name), 3),
+                }
+                for name in sorted(self.sampler.series)
+            },
+        }

@@ -1,0 +1,55 @@
+"""Prometheus text exposition for a :class:`MetricsRegistry`.
+
+Produces the plain-text format scraped by Prometheus (version 0.0.4):
+``# TYPE`` comment lines followed by sample lines.  Metric names are
+sanitised (dots and dashes become underscores) and prefixed with
+``repro_``; histogram buckets are emitted *cumulatively* with the
+standard ``le`` label plus the ``_sum`` and ``_count`` series, so the
+output round-trips through real Prometheus tooling.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.sim.tracing import Counter, Gauge, Histogram, MetricsRegistry
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    return "repro_" + _NAME_RE.sub("_", name)
+
+
+def _format_value(value: float) -> str:
+    # Integral values print without a trailing .0 — matches common
+    # client-library output and keeps the exposition diff-stable.
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Render every metric in the registry as Prometheus exposition text."""
+    lines: list[str] = []
+    for name in sorted(registry._metrics):
+        metric = registry._metrics[name]
+        prom = _prom_name(name)
+        if isinstance(metric, Counter):
+            lines.append(f"# TYPE {prom} counter")
+            lines.append(f"{prom} {_format_value(metric.value)}")
+        elif isinstance(metric, Gauge):
+            lines.append(f"# TYPE {prom} gauge")
+            lines.append(f"{prom} {_format_value(metric.value)}")
+        elif isinstance(metric, Histogram):
+            lines.append(f"# TYPE {prom} histogram")
+            cumulative = 0
+            for bound, count in zip(metric.bounds, metric.counts):
+                cumulative += count
+                lines.append(
+                    f'{prom}_bucket{{le="{bound:g}"}} {cumulative}'
+                )
+            lines.append(f'{prom}_bucket{{le="+Inf"}} {metric.count}')
+            lines.append(f"{prom}_sum {_format_value(metric.total)}")
+            lines.append(f"{prom}_count {metric.count}")
+    return "\n".join(lines) + ("\n" if lines else "")

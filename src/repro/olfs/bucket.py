@@ -116,6 +116,18 @@ class WritingBucketManager:
     def open_buckets(self) -> list[Bucket]:
         return [bucket for bucket in self._buckets if not bucket.closed]
 
+    def health(self) -> dict:
+        """Cheap read-only snapshot for the system monitor."""
+        open_buckets = self.open_buckets()
+        return {
+            "open": len(open_buckets),
+            "created": self.buckets_created,
+            "closed": self.buckets_closed,
+            "open_fill_bytes": sum(
+                bucket.filesystem.used_bytes for bucket in open_buckets
+            ),
+        }
+
     def find_bucket(self, image_id: str) -> Optional[Bucket]:
         for bucket in self._buckets:
             if bucket.image_id == image_id and not bucket.closed:

@@ -108,10 +108,18 @@ class BurnTask:
                     finished = yield from self._burn_round(
                         all_images, payloads, burned_prefix, real_prefix
                     )
-                except ROSError:
+                except ROSError as round_error:
                     # The whole array is abandoned: mark its tray Failed
                     # in the DAindex and restart on fresh blank discs.
                     tray_failures += 1
+                    if self.engine.recorder.enabled:
+                        self.engine.recorder.record(
+                            "btm.retry",
+                            task_id=self.task_id,
+                            attempt=attempts,
+                            tray_failures=tray_failures,
+                            error=str(round_error),
+                        )
                     if self.tray is not None:
                         mc.set_state(
                             self.tray[0], self.tray[1], ArrayState.FAILED
@@ -404,3 +412,21 @@ class BurnController:
     @property
     def is_burning(self) -> bool:
         return any(task.state == "burning" for task in self.active_tasks)
+
+    def health(self) -> dict:
+        """Cheap read-only snapshot for the system monitor."""
+        return {
+            "active": [
+                {
+                    "task_id": task.task_id,
+                    "state": task.state,
+                    "set_id": task.set_id,
+                    "interruptions": task.interruptions,
+                }
+                for task in self.active_tasks
+            ],
+            "completed": len(self.completed_tasks),
+            "failed": len(self.failed_tasks),
+            "interrupted_parked": len(self.interrupted_tasks),
+            "claimed_images": len(self._claimed),
+        }

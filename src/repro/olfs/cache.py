@@ -26,8 +26,24 @@ class ReadCache:
         self._lru: "OrderedDict[str, None]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         #: optional MetricsRegistry; OLFS wires its own in
         self.metrics = None
+        #: optional Engine, wired by OLFS so evictions reach the
+        #: flight recorder; None keeps the cache engine-agnostic
+        self.engine = None
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def _record_eviction(self, image_id: str, cause: str) -> None:
+        self.evictions += 1
+        if self.metrics is not None:
+            self.metrics.counter("cache.evictions").inc()
+        if self.engine is not None and self.engine.recorder.enabled:
+            self.engine.recorder.record(
+                "cache.eviction", image_id=image_id, cause=cause
+            )
 
     def __contains__(self, image_id: str) -> bool:
         return image_id in self._lru
@@ -57,8 +73,7 @@ class ReadCache:
         while len(self._lru) > self.capacity_images:
             victim, _ = self._lru.popitem(last=False)
             self.dim.evict_content(victim)
-            if self.metrics is not None:
-                self.metrics.counter("cache.evictions").inc()
+            self._record_eviction(victim, "lru")
         if self.metrics is not None:
             self.metrics.gauge("cache.cached_images").set(len(self._lru))
 
@@ -66,6 +81,7 @@ class ReadCache:
         if image_id in self._lru:
             del self._lru[image_id]
             self.dim.evict_content(image_id)
+            self._record_eviction(image_id, "manual")
 
     def reclaim(self, bytes_needed: int) -> int:
         """Evict LRU images until ``bytes_needed`` are freed (or the
@@ -82,11 +98,19 @@ class ReadCache:
             if record.image is not None:
                 freed += record.logical_size
             self.dim.evict_content(victim)
+            self._record_eviction(victim, "reclaim")
         return freed
 
     @property
     def cached_ids(self) -> list[str]:
         return list(self._lru)
+
+    def health(self) -> dict:
+        """Cheap read-only snapshot for the system monitor."""
+        snapshot = self.stats()
+        snapshot["evictions"] = self.evictions
+        snapshot["hit_rate"] = round(snapshot["hit_rate"], 6)
+        return snapshot
 
     def stats(self) -> dict:
         total = self.hits + self.misses

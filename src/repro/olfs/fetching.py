@@ -71,6 +71,7 @@ class FetchController:
         self.scheduler = scheduler
         self.burn_controller = burn_controller
         self.fetch_tasks = 0
+        self.fetch_retries = 0
         from repro.olfs.prefetch import FileGrainCache, SequentialPrefetcher
 
         #: §4.1 future-work knobs (config-gated)
@@ -170,11 +171,19 @@ class FetchController:
                 return result
             except (DriveError, MechanicsError) as error:
                 last_error = error
+                self.fetch_retries += 1
                 self.engine.trace.event(
                     "ftm.fetch_retry",
                     "ftm",
                     {"image_id": record.image_id, "attempt": attempt},
                 )
+                if self.engine.recorder.enabled:
+                    self.engine.recorder.record(
+                        "ftm.retry",
+                        image_id=record.image_id,
+                        attempt=attempt,
+                        error=str(error),
+                    )
                 yield from self.mc.mech.reset_after_fault(priority)
                 if backoff is None:
                     raise
@@ -282,6 +291,24 @@ class FetchController:
                 self.cache.put(record.image_id, image)
         finally:
             grant.release()
+
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        """Cheap read-only snapshot for the system monitor."""
+        return {
+            "fetch_tasks": self.fetch_tasks,
+            "fetch_retries": self.fetch_retries,
+            "file_cache": (
+                {"entries": len(self.file_cache)}
+                if self.file_cache is not None
+                else None
+            ),
+            "prefetched": (
+                self.prefetcher.prefetched
+                if self.prefetcher is not None
+                else 0
+            ),
+        }
 
     # ------------------------------------------------------------------
     def reassemble_split_image(self, disc) -> Optional[DiscImage]:

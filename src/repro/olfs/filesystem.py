@@ -62,6 +62,8 @@ class OLFS:
         trace_seed: int = 0x7ACE,
         fault_plan=None,
         fault_seed: int = 0xFA17,
+        monitoring: bool = False,
+        monitor_period: float = 5.0,
     ):
         self.engine = engine or Engine()
         self.config = config or OLFSConfig()
@@ -149,6 +151,7 @@ class OLFS:
 
         self.cache = ReadCache(self.dim, self.config.read_cache_images)
         self.cache.metrics = self.metrics
+        self.cache.engine = self.engine
         self.btm.cache = self.cache
         # Buffer-pressure valve: allocations on the buffer volumes may
         # evict burned cached images instead of failing.
@@ -201,6 +204,40 @@ class OLFS:
                 .install()
             )
             self.fault_injector.start()
+
+        # -- run monitoring (repro.obs) ------------------------------------
+        # Opt-in like tracing: the default leaves ``engine.recorder`` as
+        # the null object and starts no sampler process, so unmonitored
+        # runs stay byte-identical to pre-observability builds.
+        self.recorder = None
+        self.monitor = None
+        if monitoring:
+            from repro.obs.health import SystemMonitor
+            from repro.obs.recorder import FlightRecorder
+
+            self.recorder = FlightRecorder(self.engine).install()
+            self.monitor = SystemMonitor(
+                self, period=monitor_period, recorder=self.recorder
+            ).start()
+
+    # ------------------------------------------------------------------
+    # Health API (the system monitor's aggregation point)
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        """Aggregated read-only health snapshot of every subsystem."""
+        health = {
+            "mech": self.mech.health(),
+            "mc": self.mc.health(),
+            "scheduler": self.scheduler.health(),
+            "cache": self.cache.health(),
+            "btm": self.btm.health(),
+            "ftm": self.ftm.health(),
+            "wbm": self.wbm.health(),
+            "foreparts": self.foreparts.health(),
+        }
+        if self.fault_injector is not None:
+            health["faults"] = self.fault_injector.health()
+        return health
 
     # ------------------------------------------------------------------
     # Synchronous facade (advances the simulated clock)
@@ -264,6 +301,12 @@ class OLFS:
 
     def drain_background(self) -> None:
         """Run the engine until every background process settles."""
+        if self.monitor is not None:
+            # The monitor's sampler re-arms forever; a no-horizon drain
+            # would chase its ticks and never return.
+            with self.monitor.paused():
+                self.engine.run()
+            return
         self.engine.run()
 
     def settle(self, max_rounds: int = 50) -> None:
@@ -273,6 +316,13 @@ class OLFS:
         resume; a bare ``drain_background`` would leave it (and the
         engine) suspended forever.  Campaigns call this instead.
         """
+        if self.monitor is not None:
+            with self.monitor.paused():
+                self._settle(max_rounds)
+            return
+        self._settle(max_rounds)
+
+    def _settle(self, max_rounds: int) -> None:
         for _ in range(max_rounds):
             self.engine.run()
             if self.btm.interrupted_tasks:

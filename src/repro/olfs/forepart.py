@@ -50,6 +50,14 @@ class ForepartManager:
     def enabled(self) -> bool:
         return self.config.forepart_enabled and self.config.forepart_bytes > 0
 
+    def health(self) -> dict:
+        """Cheap read-only snapshot for the system monitor."""
+        return {
+            "enabled": self.enabled,
+            "forepart_bytes": self.config.forepart_bytes,
+            "trickle_rate": self.config.forepart_trickle_rate,
+        }
+
     def forepart_of(self, data: bytes) -> Optional[bytes]:
         """The prefix to embed in the index file at write time."""
         if not self.enabled:

@@ -76,6 +76,27 @@ class MechanicalController:
                 self.da_index[(roller.roller_id, address)] = ArrayState.EMPTY
 
     # ------------------------------------------------------------------
+    def health(self) -> dict:
+        """Cheap read-only snapshot for the system monitor."""
+        return {
+            "da_index": self.counts(),
+            "set_locks": [
+                {
+                    "set_id": set_id,
+                    "available": lock.available,
+                    "queue_length": lock.queue_length,
+                    "burning_task": (
+                        self.burn_task_of_set[set_id].task_id
+                        if set_id in self.burn_task_of_set
+                        else None
+                    ),
+                }
+                for set_id, lock in sorted(self._locks.items())
+            ],
+            "arrays_mapped": len(self.array_images),
+        }
+
+    # ------------------------------------------------------------------
     # DAindex
     # ------------------------------------------------------------------
     def state_of(self, roller: int, address: TrayAddress) -> ArrayState:

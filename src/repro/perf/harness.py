@@ -32,8 +32,14 @@ def run_benchmarks(
     scale: float = 1.0,
     repeats: int = 3,
     scenarios: bool = True,
+    monitor: bool = False,
 ) -> dict:
-    """Run the microbench suite (and optionally scenarios); one entry dict."""
+    """Run the microbench suite (and optionally scenarios); one entry dict.
+
+    ``monitor=True`` attaches :mod:`repro.obs` run monitoring to the
+    scenarios that support it — each such scenario's stats then carry a
+    ``run_report`` key (the same report ``repro monitor`` emits).
+    """
     entry: dict = {
         "recorded": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "events_per_sec": {
@@ -42,7 +48,7 @@ def run_benchmarks(
         },
     }
     if scenarios:
-        entry["scenarios"] = run_scenarios()
+        entry["scenarios"] = run_scenarios(monitor=monitor)
     return entry
 
 

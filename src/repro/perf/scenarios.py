@@ -23,7 +23,7 @@ from __future__ import annotations
 from typing import Callable, Dict
 
 
-def _small_ros():
+def _small_ros(**kwargs):
     # Mirrors the test-suite rack: tiny buckets so burns finish in
     # simulated minutes while still crossing every layer.
     from repro import OLFSConfig, ROS, units
@@ -35,11 +35,12 @@ def _small_ros():
         config=config,
         roller_count=1,
         buffer_volume_capacity=200 * units.MB,
+        **kwargs,
     )
 
 
-def scenario_cold_read() -> dict:
-    ros = _small_ros()
+def scenario_cold_read(monitor: bool = False) -> dict:
+    ros = _small_ros(tracing=monitor, monitoring=monitor)
     for index in range(9):
         ros.write(f"/perf/file-{index}.bin", bytes([index + 1]) * 9000)
     ros.flush()
@@ -47,11 +48,18 @@ def scenario_cold_read() -> dict:
     ros.cache.evict(ros.stat(path)["locations"][0])
     result = ros.read(path)
     ros.drain_background()
-    return {
+    stats = {
         "source": result.source,
         "sim_seconds": round(ros.now, 3),
         "read_seconds": round(result.total_seconds, 3),
     }
+    if monitor:
+        from repro.obs import build_report
+
+        stats["run_report"] = build_report(
+            ros, monitor=ros.monitor, recorder=ros.recorder
+        )
+    return stats
 
 
 def scenario_longevity_slice(periods: int = 3, aging_rate: float = 1e-3) -> dict:
@@ -94,17 +102,25 @@ def scenario_longevity_slice(periods: int = 3, aging_rate: float = 1e-3) -> dict
     }
 
 
-def scenario_chaos_campaign(seed: int = 42, ops: int = 120) -> dict:
+def scenario_chaos_campaign(
+    seed: int = 42, ops: int = 120, monitor: bool = False
+) -> dict:
     from repro.faults.campaign import run_campaign
 
-    report = run_campaign(seed, ops)
-    return {
+    report = run_campaign(seed, ops, monitor=monitor)
+    stats = {
         "seed": seed,
         "ops": ops,
         "fault_events": len(report["fault_events"]),
         "invariants_ok": all(inv["ok"] for inv in report["invariants"]),
         "sim_seconds": round(report["final_time"], 3),
     }
+    if monitor:
+        stats["run_report"] = {
+            "monitor": report["monitor"],
+            "flight_recorder": report["flight_recorder"],
+        }
+    return stats
 
 
 SCENARIOS: Dict[str, Callable[[], dict]] = {
@@ -113,8 +129,13 @@ SCENARIOS: Dict[str, Callable[[], dict]] = {
     "chaos_campaign": scenario_chaos_campaign,
 }
 
+#: Scenarios that accept ``monitor=True`` to attach a repro.obs run report.
+MONITORABLE = frozenset({"cold_read", "chaos_campaign"})
 
-def run_scenarios(names: list[str] | None = None) -> Dict[str, dict]:
+
+def run_scenarios(
+    names: list[str] | None = None, monitor: bool = False
+) -> Dict[str, dict]:
     """Run scenarios by name (all by default); stats dict per scenario."""
     import time
 
@@ -123,7 +144,7 @@ def run_scenarios(names: list[str] | None = None) -> Dict[str, dict]:
     for name in selected:
         fn = SCENARIOS[name]
         start = time.perf_counter()
-        stats = fn()
+        stats = fn(monitor=True) if monitor and name in MONITORABLE else fn()
         wall = time.perf_counter() - start
         results[name] = {"wall_seconds": round(wall, 4), **stats}
     return results

@@ -47,5 +47,22 @@ class ControlChannel:
             )
         self.commands_sent += 1
         self.log.append((self.engine.now, instruction.mnemonic))
+        if self.engine.recorder.enabled:
+            self.engine.recorder.record(
+                "plc.instruction", mnemonic=instruction.mnemonic
+            )
         result = yield from self.plc.execute(instruction)
         return result
+
+    def health(self) -> dict:
+        """Cheap read-only snapshot for the system monitor."""
+        last = self.log[-1] if self.log else None
+        return {
+            "commands_sent": self.commands_sent,
+            "command_latency": self.command_latency,
+            "last_command": (
+                {"t": round(last[0], 6), "mnemonic": last[1]}
+                if last is not None
+                else None
+            ),
+        }

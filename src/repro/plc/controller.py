@@ -144,6 +144,22 @@ class PLCController:
             return None
         raise PLCFaultError(f"unknown instruction {instruction!r}")
 
+    def health(self) -> dict:
+        """Cheap read-only snapshot for the system monitor."""
+        return {
+            "instructions_executed": self.instructions_executed,
+            "faults": self.faults,
+            "separated_pending": sum(
+                1 for disc in self._separated.values() if disc is not None
+            ),
+            "sensors_unhealthy": sum(
+                1
+                for suite in self.suites
+                for sensor in suite.all_sensors()
+                if sensor.failed or sensor._fault_offset != 0.0
+            ),
+        }
+
     def collect_into_arm(self, arm_index: int, disc) -> Generator:
         """Timed fetch of one disc from a drive tray onto the arm's stack."""
         self.instructions_executed += 1

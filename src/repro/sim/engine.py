@@ -406,6 +406,26 @@ class _NullFaults:
 NULL_FAULTS = _NullFaults()
 
 
+class _NullRecorder:
+    """No-op flight recorder: instrumented sites journal into the void.
+
+    Defined here (not in :mod:`repro.obs`) for the same reason as
+    :class:`_NullFaults` — the real
+    :class:`~repro.obs.recorder.FlightRecorder` imports this module, so
+    keeping the null object on the engine side leaves the dependency
+    one-way and the ``engine.recorder.record(...)`` call sites free
+    when monitoring is off.
+    """
+
+    enabled = False
+
+    def record(self, kind: str, **fields) -> None:
+        return None
+
+
+NULL_RECORDER = _NullRecorder()
+
+
 class Engine:
     """The discrete-event simulator: clock, run queue, heap and scheduler."""
 
@@ -429,6 +449,9 @@ class Engine:
         self.trace = NULL_TRACER
         #: fault hook; replace with :class:`repro.faults.FaultInjector`
         self.faults = NULL_FAULTS
+        #: flight-recorder hook; replace with
+        #: :class:`repro.obs.recorder.FlightRecorder`
+        self.recorder = NULL_RECORDER
 
     @property
     def now(self) -> float:

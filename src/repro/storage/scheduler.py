@@ -75,6 +75,28 @@ class IOStreamScheduler:
         """Human-readable mapping for reports."""
         return {kind: vol.name for kind, vol in self._assignment.items()}
 
+    def health(self) -> dict:
+        """Cheap read-only snapshot for the system monitor."""
+        return {
+            "policy": self.policy,
+            "assignment": {
+                kind.value: volume.name
+                for kind, volume in sorted(
+                    self._assignment.items(), key=lambda item: item[0].value
+                )
+            },
+            "volumes": [
+                {
+                    "name": volume.name,
+                    "used": volume.used,
+                    "capacity": volume.capacity,
+                    "read_bytes_total": round(volume.read_bytes_total, 3),
+                    "write_bytes_total": round(volume.write_bytes_total, 3),
+                }
+                for volume in self.volumes
+            ],
+        }
+
     def distinct_volumes(self) -> Iterable[Volume]:
         seen = []
         for volume in self._assignment.values():

@@ -24,6 +24,8 @@ def make_ros(
     trace_seed=0x7ACE,
     fault_plan=None,
     fault_seed=0xFA17,
+    monitoring=False,
+    monitor_period=5.0,
 ):
     """A small ROS rack: tiny buckets so burns complete in simulated minutes.
 
@@ -52,6 +54,8 @@ def make_ros(
         trace_seed=trace_seed,
         fault_plan=fault_plan,
         fault_seed=fault_seed,
+        monitoring=monitoring,
+        monitor_period=monitor_period,
     )
 
 

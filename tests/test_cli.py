@@ -64,6 +64,55 @@ def test_demo_command(capsys):
     assert "cold read via" in output
 
 
+def test_trace_prints_metrics_summary(capsys):
+    code, output = run_cli(capsys, "trace", "ops")
+    assert code == 0
+    assert "spans recorded" in output
+    assert "metrics:" in output
+    assert "histograms)" in output
+
+
+def test_trace_prom_export(capsys, tmp_path):
+    out = tmp_path / "metrics.prom"
+    code, output = run_cli(
+        capsys, "trace", "cold-read", "--format", "prom", "--out", str(out)
+    )
+    assert code == 0
+    assert f"wrote prom trace to {out}" in output
+    text = out.read_text()
+    assert "# TYPE repro_" in text
+    assert '_bucket{le="+Inf"}' in text
+
+
+def test_monitor_cold_read_passes_slos(capsys):
+    code, output = run_cli(capsys, "monitor", "--scenario", "cold-read")
+    assert code == 0
+    assert "SLO verdicts" in output
+    assert "VIOLATED" not in output
+    assert "read.cold_worst_case" in output
+    assert "flight recorder:" in output
+
+
+def test_monitor_writes_report_and_flight_dump(capsys, tmp_path):
+    import json
+
+    report_path = tmp_path / "report.json"
+    flight_path = tmp_path / "flight.jsonl"
+    code, output = run_cli(
+        capsys, "monitor", "--scenario", "write-burn",
+        "--out", str(report_path), "--flight-out", str(flight_path),
+    )
+    assert code == 0
+    report = json.loads(report_path.read_text())
+    assert report["monitor"]["slo"]["violation_count"] == 0
+    assert report["flight_recorder"]["recorded"] > 0
+    events = [
+        json.loads(line) for line in flight_path.read_text().splitlines()
+    ]
+    assert events
+    assert all("t" in event and "kind" in event for event in events)
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["frobnicate"])

@@ -2,8 +2,7 @@
 
 Faults are injected through :mod:`repro.faults` — a seeded
 ``FaultInjector`` installed on the engine — rather than by poking device
-flags.  The legacy ``inject_burn_failure`` flag survives as a deprecated
-shim (tested below) for external callers.
+flags.
 """
 
 import pytest
@@ -102,21 +101,6 @@ def test_drive_hard_failure_window_expires():
     # The rack still burns fine once the window has passed.
     ros.flush()
     assert ros.mc.counts()["Used"] >= 1
-
-
-# ----------------------------------------------------------------------
-# Legacy flag shim (deprecated, kept for external callers)
-# ----------------------------------------------------------------------
-def test_legacy_inject_burn_failure_shim_warns_and_works():
-    ros = make_ros(auto_burn=False)
-    write_batch(ros, count=4)
-    drive = ros.mech.drive_sets[0].drives[0]
-    with pytest.warns(DeprecationWarning, match="inject_burn_failure"):
-        drive.inject_burn_failure = True
-    assert drive.inject_burn_failure is True
-    ros.flush()
-    assert ros.mc.counts()["Failed"] == 1
-    assert not drive.inject_burn_failure  # consumed by the failed burn
 
 
 # ----------------------------------------------------------------------

@@ -43,6 +43,13 @@ def test_scenario_registry_has_the_three_canonical_workloads():
     assert set(SCENARIOS) == {"cold_read", "longevity_slice", "chaos_campaign"}
 
 
+def test_cold_read_scenario_attaches_run_report_under_monitor():
+    results = run_scenarios(["cold_read"], monitor=True)
+    report = results["cold_read"]["run_report"]
+    assert report["monitor"]["slo"]["violation_count"] == 0
+    assert report["flight_recorder"]["recorded"] > 0
+
+
 def test_gate_check_passes_at_baseline_and_fails_below():
     baseline = {"delay_chain": 1000.0, "ping_pong": 2000.0}
     assert gate_check({"delay_chain": 1000.0, "ping_pong": 2000.0},
