@@ -13,6 +13,7 @@ builds what it needs and prints a report:
     trace        run a traced scenario, print the span tree, export JSON
     monitor      run a scenario under full monitoring, emit the run report
     chaos        seeded fault-injection campaign with invariant checks
+    serve        multi-tenant serving load run with QoS percentile report
     bench        engine events/s + scenario wall-clock, perf-gate check
     profile      cProfile a scenario or microbench, top-N hotspots
 """
@@ -306,6 +307,7 @@ def cmd_chaos(args) -> int:
             intensity=args.intensity,
             monitor=args.monitor,
             flight_out=args.flight_out,
+            serve=args.serve,
         )
         runs.append(report_to_json(report))
     identical = all(run == runs[0] for run in runs[1:])
@@ -325,6 +327,16 @@ def cmd_chaos(args) -> int:
         mark = "ok" if inv["ok"] else "VIOLATED"
         print(f"  invariant {inv['invariant']}: {mark} "
               f"(checked {inv['detail'].get('checked', '-')})")
+    serve_section = report.get("serve")
+    if serve_section is not None:
+        outcomes = serve_section["outcomes"]
+        print(f"  serving: {serve_section['ops']} session ops "
+              f"({outcomes.get('ok', 0)} ok, "
+              f"{outcomes.get('rejected', 0)} rejected, "
+              f"{outcomes.get('timeout', 0)} timed out, "
+              f"{outcomes.get('link_down', 0)} link-down, "
+              f"{outcomes.get('disconnected', 0)} disconnected), "
+              f"{serve_section['link']['drops']} link drops")
     monitor_section = report.get("monitor")
     if monitor_section is not None:
         slo = monitor_section.get("slo") or {}
@@ -349,7 +361,58 @@ def cmd_chaos(args) -> int:
             if not inv["ok"]:
                 print(f"FAILED {inv['invariant']}: {inv['detail']}")
         return 1
-    print(f"  all 4 invariants hold; {len(runs)} runs byte-identical")
+    print(f"  all {len(report['invariants'])} invariants hold; "
+          f"{len(runs)} runs byte-identical")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Run the multi-tenant serving harness and print the QoS report.
+
+    Runs the identical experiment ``--runs`` times and byte-compares the
+    canonical reports — the determinism contract ``python -m repro
+    chaos`` enforces, extended to serving.
+    """
+    import json
+
+    from repro.serve import render_text, report_to_json, run_serve
+
+    runs = []
+    for _ in range(max(1, args.runs)):
+        report = run_serve(
+            args.seed,
+            duration_s=args.duration,
+            prepopulate=args.prepopulate,
+            backend=args.backend,
+            faults=args.faults,
+            max_inflight=args.max_inflight,
+        )
+        runs.append(report_to_json(report))
+    identical = all(run == runs[0] for run in runs[1:])
+    report = json.loads(runs[0])
+
+    print(render_text(report))
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(runs[0])
+        print(f"wrote report to {args.out}")
+    if not identical:
+        print("DETERMINISM VIOLATION: reports differ across identical runs")
+        return 1
+    if not report["totals"]["ops"]:
+        print("EMPTY RUN: no operations were issued")
+        return 1
+    if not report["admission_audit"]["ok"]:
+        print(f"ADMISSION AUDIT FAILED: "
+              f"{report['admission_audit']['detail']}")
+        return 1
+    missed = [
+        name for name, entry in report["tenants"].items()
+        if entry.get("slo_met") is False
+    ]
+    if missed:
+        print(f"SLO MISSED by: {', '.join(missed)}")
+        return 1
     return 0
 
 
@@ -517,7 +580,32 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--flight-out",
                        help="flight-recorder dump path on invariant failure "
                             "(default chaos-flight-<seed>.jsonl)")
+    chaos.add_argument("--serve", action="store_true",
+                       help="run the campaign under a serving workload and "
+                            "audit the fifth invariant (no admitted "
+                            "request lost)")
     chaos.set_defaults(handler=cmd_chaos)
+
+    serve = sub.add_parser(
+        "serve", help="multi-tenant serving load run + QoS report"
+    )
+    serve.add_argument("--seed", type=int, default=42)
+    serve.add_argument("--duration", type=float, default=60.0,
+                       help="serving horizon, simulated seconds")
+    serve.add_argument("--runs", type=int, default=2,
+                       help="identical runs to byte-compare (default 2)")
+    serve.add_argument("--prepopulate", type=int, default=18,
+                       help="files written before serving starts")
+    serve.add_argument("--backend", choices=("olfs", "cluster"),
+                       default="olfs",
+                       help="single rack or a 2-rack replicated cluster")
+    serve.add_argument("--faults", action="store_true",
+                       help="run under a randomized fault plan (incl. "
+                            "link flaps and client disconnects)")
+    serve.add_argument("--max-inflight", type=int, default=8,
+                       help="admission controller inflight cap")
+    serve.add_argument("--out", help="write the JSON report here")
+    serve.set_defaults(handler=cmd_serve)
 
     bench = sub.add_parser(
         "bench", help="engine events/s + scenario wall-clock, perf gate"
@@ -549,8 +637,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     profile.add_argument(
         "target",
-        help="scenario (cold_read, longevity_slice, chaos_campaign) "
-             "or microbench (delay_chain, ping_pong, spawn_join, "
+        help="scenario (cold_read, longevity_slice, chaos_campaign, "
+             "serve) or microbench (delay_chain, ping_pong, spawn_join, "
              "bandwidth_flows)",
     )
     profile.add_argument("--top", type=int, default=15,

@@ -91,12 +91,19 @@ class RackCluster:
         return traces[0]
 
     def read(self, path: str):
-        """Read from the first reachable holder."""
+        """Read from the first holder that can actually serve the bytes.
+
+        Failover covers any :class:`ROSError` — not just racks explicitly
+        marked down.  A replica whose drives are hard-failed or whose read
+        times out raises (DriveError, TimeoutOLFSError, ...) and the next
+        holder is tried; the last error is re-raised only when every holder
+        failed.
+        """
         last_error: Optional[Exception] = None
         for index in self._alive(self.placement(path)):
             try:
                 return self.racks[index].read(path)
-            except FileNotFoundOLFSError as error:
+            except ROSError as error:
                 last_error = error
         if last_error is not None:
             raise last_error
@@ -136,6 +143,51 @@ class RackCluster:
                 continue
         if not removed:
             raise FileNotFoundOLFSError(f"{path!r}: not in the cluster")
+
+    # ------------------------------------------------------------------
+    # Generator-form operations (serve path)
+    #
+    # The synchronous facade above calls ``rack.read`` which internally
+    # spins ``engine.run_process`` — illegal from inside a running
+    # simulation process.  Serving sessions are processes, so they use
+    # these ``yield from``-able forms with identical placement/failover
+    # semantics.
+    # ------------------------------------------------------------------
+    def write_process(self, path: str, data: bytes, logical_size=None):
+        """Generator form of :meth:`write` for use inside sim processes."""
+        targets = self._alive(self.placement(path))
+        if not targets:
+            raise RackDownError(f"no rack available for {path!r}")
+        traces = []
+        for index in targets:
+            trace = yield from self.racks[index].pi.write_file(
+                path, data, logical_size
+            )
+            traces.append(trace)
+        return traces[0]
+
+    def read_process(self, path: str):
+        """Generator form of :meth:`read`; same ROSError failover."""
+        last_error: Optional[Exception] = None
+        for index in self._alive(self.placement(path)):
+            try:
+                result = yield from self.racks[index].pi.read_file(path)
+                return result
+            except ROSError as error:
+                last_error = error
+        if last_error is not None:
+            raise last_error
+        raise RackDownError(f"every rack holding {path!r} is down")
+
+    def stat_process(self, path: str):
+        """Generator form of :meth:`stat`."""
+        for index in self._alive(self.placement(path)):
+            try:
+                result = yield from self.racks[index].pi.stat(path)
+                return result
+            except FileNotFoundOLFSError:
+                continue
+        raise FileNotFoundOLFSError(f"{path!r}: not in the cluster")
 
     # ------------------------------------------------------------------
     def flush(self) -> int:

@@ -108,3 +108,26 @@ class TimeoutOLFSError(FilesystemError):
     """A read could not be served before the client-visible timeout."""
 
     errno_name = "ETIMEDOUT"
+
+
+# ----------------------------------------------------------------------
+# Serving layer (repro.serve)
+# ----------------------------------------------------------------------
+class ServeError(ROSError):
+    """Base for failures in the multi-tenant serving layer."""
+
+
+class AdmissionRejectedError(ServeError):
+    """Backpressure: the tenant's admission queue (or the rack) is full."""
+
+
+class AdmissionTimeoutError(ServeError):
+    """A queued request outlived its admission deadline."""
+
+
+class LinkDownError(ServeError):
+    """The 10GbE link is flapped down; the request never reached the rack."""
+
+
+class SessionDisconnectedError(ServeError):
+    """The client session dropped before the operation could be issued."""

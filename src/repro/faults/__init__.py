@@ -2,6 +2,8 @@
 
 from repro.faults.plan import (
     ALL_KINDS,
+    BASE_KINDS,
+    SERVE_KINDS,
     CACHE_LOSS,
     DISC_SECTOR_BURST,
     DRIVE_HARD,
@@ -22,6 +24,8 @@ from repro.faults.policy import RetryPolicy
 
 __all__ = [
     "ALL_KINDS",
+    "BASE_KINDS",
+    "SERVE_KINDS",
     "CACHE_LOSS",
     "DISC_SECTOR_BURST",
     "DRIVE_HARD",

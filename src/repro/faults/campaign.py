@@ -104,6 +104,131 @@ def _run_workload(ros, rng, ops: int, acked: dict) -> tuple[dict, list]:
     return counters, violations
 
 
+def _start_serving(ros, rng, ops: int):
+    """Attach a serving workload to the campaign rack (``--serve``).
+
+    Two tenants' closed-loop sessions issue a *fixed* number of ops each
+    (so they terminate regardless of the horizon) through the 10GbE link
+    and the admission controller, while the baseline workload and the
+    fault storm run underneath.  Returns everything the finish/audit
+    phase needs.
+    """
+    from repro.serve.network import NetworkLink
+    from repro.serve.session import ClientSession, OLFSBackend, ServeOp
+    from repro.serve.tenancy import AdmissionController, TenantSpec
+    from repro.sim.engine import Delay
+    from repro.sim.tracing import MetricsRegistry
+
+    engine = ros.engine
+    link = NetworkLink(engine)
+    admission = AdmissionController(
+        engine,
+        [
+            TenantSpec(
+                "interactive",
+                rate_ops=20.0,
+                rate_bytes=8 * units.MB,
+                weight=4.0,
+                deadline_s=10.0,
+            ),
+            TenantSpec("batch", weight=1.0, max_queue=32),
+        ],
+        max_inflight=4,
+    )
+    metrics = MetricsRegistry()
+    backend = OLFSBackend(ros)
+    ops_per_session = max(5, ops // 4)
+    sessions = []
+    processes = []
+
+    def session_loop(session, session_rng):
+        from repro.errors import SessionDisconnectedError
+
+        written = []
+        for op_index in range(ops_per_session):
+            yield Delay(session_rng.exponential(THINK_MEAN_SECONDS))
+            if written and session_rng.uniform() < 0.5:
+                path, size = written[
+                    session_rng.integers(0, len(written))
+                ]
+                op = ServeOp("read", path, float(size))
+            else:
+                size = 2000 + session_rng.integers(0, 14000)
+                data = session_rng.bytes(16)
+                data = (data * (size // len(data) + 1))[:size]
+                path = (
+                    f"/srv/{session.session_id}/f{op_index:04d}.bin"
+                )
+                op = ServeOp(
+                    "write", path, float(size), data=data,
+                    logical_size=size,
+                )
+            try:
+                outcome = yield from session.perform(op)
+            except SessionDisconnectedError:
+                return
+            if op.kind == "write" and outcome.status == "ok":
+                written.append((op.path, size))
+
+    for tenant, client in (
+        ("interactive", 0), ("interactive", 1), ("batch", 0), ("batch", 1)
+    ):
+        session_id = f"{tenant}-{client}"
+        session = ClientSession(
+            engine, session_id, tenant, link, admission, backend, metrics
+        )
+        sessions.append(session)
+        processes.append(
+            engine.spawn(
+                session_loop(session, rng.child(f"session-{session_id}")),
+                name=f"serve-{session_id}",
+            )
+        )
+    return {
+        "link": link,
+        "admission": admission,
+        "sessions": sessions,
+        "processes": processes,
+    }
+
+
+def _finish_serving(ros, serving: dict) -> dict:
+    """Join the serving sessions and close admission; returns the summary."""
+    from repro.sim.engine import AllOf
+
+    pending = [
+        process for process in serving["processes"] if not process.done
+    ]
+    if pending:
+        def _join():
+            yield AllOf(pending)
+
+        ros.run(_join(), "serve-join")
+    serving["admission"].close()
+    outcomes: dict[str, int] = {}
+    for session in serving["sessions"]:
+        for status, count in session.outcomes.items():
+            outcomes[status] = outcomes.get(status, 0) + count
+    return {
+        "ops": sum(outcomes.values()),
+        "outcomes": {k: outcomes[k] for k in sorted(outcomes)},
+        "link": {
+            "requests": serving["link"].requests,
+            "responses": serving["link"].responses,
+            "drops": serving["link"].drops,
+        },
+        "admission": {
+            name: {
+                key: round(value, 3) if isinstance(value, float) else value
+                for key, value in sorted(stats.items())
+            }
+            for name, stats in sorted(
+                serving["admission"].stats.items()
+            )
+        },
+    }
+
+
 def _repair(ros) -> None:
     """What the administrator does after the storm (§4.7 maintenance).
 
@@ -142,6 +267,7 @@ def run_campaign(
     intensity: float = 1.0,
     monitor: bool = False,
     flight_out: str | None = None,
+    serve: bool = False,
 ) -> dict:
     """One full chaos campaign; returns the (JSON-safe) report dict.
 
@@ -153,12 +279,25 @@ def run_campaign(
     events leading up to the failure survive the process.  The default
     (``monitor=False``) leaves both the run and the report byte-identical
     to an unmonitored build.
+
+    ``serve=True`` runs the campaign *under a serving workload*: the
+    plan gains the serving fault kinds (link flap, client disconnect),
+    four client sessions push ops through the 10GbE link and the
+    admission controller while the storm rages, and the audit adds the
+    fifth invariant ("no admitted request lost").  The default
+    (``serve=False``) run and report stay byte-identical to a build
+    without the serving layer — the serve plan specs are drawn after
+    every baseline draw and the serve report section is simply absent.
     """
     horizon = max(600.0, ops * 5.0)
     rng = DeterministicRNG(seed).child("chaos")
-    plan = FaultPlan.randomized(rng.child("plan"), horizon, intensity=intensity)
+    plan = FaultPlan.randomized(
+        rng.child("plan"), horizon, intensity=intensity, serve=serve
+    )
     ros = build_ros(seed, plan, monitor=monitor)
     injector = ros.fault_injector
+
+    serving = _start_serving(ros, rng.child("serve"), ops) if serve else None
 
     acked: dict = {}
     counters, violations = _run_workload(
@@ -169,6 +308,9 @@ def run_campaign(
     if horizon > ros.now:
         ros.engine.run(until=horizon)
     injector.stop()
+    serve_summary = (
+        _finish_serving(ros, serving) if serving is not None else None
+    )
     _repair(ros)
 
     # Finish the monitor *before* the invariant audit: I2 demands a fully
@@ -176,6 +318,12 @@ def run_campaign(
     monitor_summary = ros.monitor.finish() if ros.monitor is not None else None
 
     invariants = check_all(ros, acked)
+    if serving is not None:
+        from repro.faults.invariants import check_no_admitted_request_lost
+
+        invariants.append(
+            check_no_admitted_request_lost(serving["admission"])
+        )
     ok = not violations and all(inv["ok"] for inv in invariants)
     report = {
         "seed": seed,
@@ -191,6 +339,8 @@ def run_campaign(
         "invariants": invariants,
         "ok": ok,
     }
+    if serve_summary is not None:
+        report["serve"] = serve_summary
     if monitor_summary is not None:
         report["monitor"] = monitor_summary
         report["flight_recorder"] = {

@@ -8,7 +8,11 @@ as ``engine.faults`` (every engine starts with the no-op
   boundary (one-shot transient burn errors);
 * ``drive.op`` — checked on mount / seek / read / burn (hard-failure
   windows);
-* ``plc.channel`` — checked by :meth:`ControlChannel.send`.
+* ``plc.channel`` — checked by :meth:`ControlChannel.send`;
+* ``net.link`` — checked by :class:`repro.serve.network.NetworkLink` on
+  every request/response transfer (flap windows and one-shots);
+* ``client.session`` — checked by :class:`repro.serve.session.ClientSession`
+  before each issued operation (one-shot disconnects).
 
 Scheduled (``at=T``) and hazard-rate faults are driven by engine processes
 spawned from :meth:`start`; *applied* faults (sector bursts, arm jams,
@@ -24,11 +28,13 @@ from typing import Generator, Optional
 
 from repro.faults.plan import (
     CACHE_LOSS,
+    CLIENT_DISCONNECT,
     DISC_SECTOR_BURST,
     DRIVE_HARD,
     DRIVE_TRANSIENT,
     FaultPlan,
     FaultSpec,
+    NET_LINK_FLAP,
     OLFS_CRASH,
     PLC_ARM_JAM,
     PLC_CHANNEL,
@@ -40,6 +46,8 @@ from repro.sim.rng import DeterministicRNG
 SITE_DRIVE_BURN = "drive.burn"
 SITE_DRIVE_OP = "drive.op"
 SITE_PLC_CHANNEL = "plc.channel"
+SITE_NET_LINK = "net.link"
+SITE_CLIENT_SESSION = "client.session"
 
 #: default encoder drift (layers) applied by an arm jam
 DEFAULT_JAM_DRIFT = 3.0
@@ -183,6 +191,8 @@ class FaultInjector:
             PLC_ARM_JAM: self._apply_arm_jam,
             CACHE_LOSS: self._apply_cache_loss,
             OLFS_CRASH: self._apply_crash,
+            NET_LINK_FLAP: self._apply_link_flap,
+            CLIENT_DISCONNECT: self._apply_client_disconnect,
         }[spec.kind]
         handler(spec)
 
@@ -274,6 +284,21 @@ class FaultInjector:
 
             ros.ftm.file_cache = FileGrainCache(file_cache.capacity_bytes)
         self._log("apply", spec.kind, "read-cache", dropped=dropped)
+
+    def _apply_link_flap(self, spec: FaultSpec) -> None:
+        # No bound ros needed: the NetworkLink polls SITE_NET_LINK itself.
+        if spec.duration > 0:
+            self._open_window(SITE_NET_LINK, spec.target or "", spec)
+        else:
+            self._arm_oneshot(SITE_NET_LINK, spec.target or "", spec)
+        self._log("arm", spec.kind, spec.target or "*",
+                  duration=spec.duration)
+
+    def _apply_client_disconnect(self, spec: FaultSpec) -> None:
+        # One-shot consumed by the next op of the targeted session ("" =
+        # whichever session checks first).
+        self._arm_oneshot(SITE_CLIENT_SESSION, spec.target or "", spec)
+        self._log("arm", spec.kind, spec.target or "*")
 
     def _apply_crash(self, spec: FaultSpec) -> None:
         ros = self._require_ros()

@@ -15,6 +15,13 @@ I4. **Metadata matches the discs.**  Every record the DIM claims is
     burned has its disc, a track carrying its image, and a consistent
     DAindex entry (§4.2/§4.6).
 
+Serving campaigns (``--serve``) add a fifth:
+
+I5. **No admitted request lost.**  Every request the admission
+    controller admitted released its grant (none stranded inflight),
+    every submitted ticket is accounted admitted/rejected/timed-out,
+    and nothing is left queued after the system drains.
+
 Each check returns ``{"invariant": name, "ok": bool, "detail": {...}}``
 with JSON-safe details, so reports serialize deterministically.
 """
@@ -173,6 +180,22 @@ def check_metadata_consistency(ros) -> dict:
         "metadata_consistent",
         not problems,
         {"checked": checked, "problems": problems[:10]},
+    )
+
+
+# ----------------------------------------------------------------------
+# I5: no admitted request lost (serving campaigns)
+# ----------------------------------------------------------------------
+def check_no_admitted_request_lost(admission) -> dict:
+    """I5: admission accounting balances once the campaign settles."""
+    ok, note = admission.audit()
+    submitted = sum(
+        int(stats["submitted"]) for stats in admission.stats.values()
+    )
+    return _result(
+        "no_admitted_request_lost",
+        ok,
+        {"checked": submitted, "note": note},
     )
 
 

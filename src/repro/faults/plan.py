@@ -36,6 +36,16 @@ Taxonomy
     downtime: burning arrays stop at their next segment boundary (prefixes
     survive as POW tracks), volatile caches flush, and parked burns resume
     in appending mode after the restart.
+``net.link_flap``
+    The rack's 10GbE serving link drops for ``duration`` seconds (or for
+    exactly one request when ``duration`` is 0): every request or response
+    crossing the :class:`~repro.serve.network.NetworkLink` during the
+    window raises :class:`~repro.errors.LinkDownError`.
+``client.disconnect``
+    One serving client session (``target`` = session id, or any session)
+    drops: its next operation raises
+    :class:`~repro.errors.SessionDisconnectedError` and the session stops
+    issuing work.
 """
 
 from __future__ import annotations
@@ -51,9 +61,11 @@ PLC_CHANNEL = "plc.channel_fault"
 PLC_ARM_JAM = "plc.arm_jam"
 CACHE_LOSS = "cache.device_loss"
 OLFS_CRASH = "olfs.crash_restart"
+NET_LINK_FLAP = "net.link_flap"
+CLIENT_DISCONNECT = "client.disconnect"
 
-#: Every fault kind the injector understands.
-ALL_KINDS = (
+#: Kinds every randomized plan draws (the storage-side storm).
+BASE_KINDS = (
     DRIVE_TRANSIENT,
     DRIVE_HARD,
     DISC_SECTOR_BURST,
@@ -62,6 +74,16 @@ ALL_KINDS = (
     CACHE_LOSS,
     OLFS_CRASH,
 )
+
+#: Kinds drawn only when the plan covers a serving workload
+#: (``randomized(..., serve=True)``).
+SERVE_KINDS = (
+    NET_LINK_FLAP,
+    CLIENT_DISCONNECT,
+)
+
+#: Every fault kind the injector understands.
+ALL_KINDS = BASE_KINDS + SERVE_KINDS
 
 
 @dataclass
@@ -147,6 +169,7 @@ class FaultPlan:
         rng,
         horizon: float,
         intensity: float = 1.0,
+        serve: bool = False,
     ) -> "FaultPlan":
         """A seeded mixed-fault schedule over ``[0, horizon]`` sim seconds.
 
@@ -154,6 +177,12 @@ class FaultPlan:
         seeds produce identical plans.  ``intensity`` scales every hazard
         rate.  Every hazard spec is bounded by ``horizon`` so injector
         driver processes terminate and the engine can drain.
+
+        With ``serve=True`` the plan also covers the serving path: a
+        10GbE link-flap window and a client-disconnect hazard.  The serve
+        specs are appended *after* every baseline draw, so ``serve=False``
+        plans stay byte-identical to plans built before the serving layer
+        existed.
         """
         plan = cls()
         # Transient burn errors: the most common fault in a burning rack.
@@ -196,4 +225,17 @@ class FaultPlan:
             at=rng.uniform(max(horizon * 0.2, 0.1), max(horizon * 0.9, 0.2)),
             duration=rng.uniform(10.0, 45.0),
         )
+        if serve:
+            # Serving-path faults, drawn strictly after the baseline specs
+            # so serve=False plans are unchanged byte-for-byte.
+            plan.add(
+                NET_LINK_FLAP,
+                at=rng.uniform(0.1, max(horizon * 0.7, 0.2)),
+                duration=rng.uniform(1.0, 10.0),
+            )
+            plan.add(
+                CLIENT_DISCONNECT,
+                hazard_rate=intensity * 1.0 / max(horizon, 1.0),
+                until=horizon,
+            )
         return plan

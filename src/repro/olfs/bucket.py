@@ -20,7 +20,7 @@ from __future__ import annotations
 import json
 from typing import Callable, Generator, Optional
 
-from repro.errors import NoSpaceOLFSError
+from repro.errors import NoSpaceOLFSError, ReadOnlyOLFSError
 from repro.olfs.config import OLFSConfig
 from repro.sim.engine import Delay, Engine
 from repro.storage.volume import Volume
@@ -93,6 +93,9 @@ class WritingBucketManager:
         self._image_counter = 0
         self.buckets_created = 0
         self.buckets_closed = 0
+        #: writes restarted because a concurrent writer filled or sealed
+        #: the chosen bucket while this write's transfer was in flight
+        self.write_races = 0
         for _ in range(config.open_buckets):
             self._new_bucket()
 
@@ -138,14 +141,22 @@ class WritingBucketManager:
         image = bucket.to_image()
         self._buckets.remove(bucket)
         self.buckets_closed += 1
-        # Recycle: keep the configured number of open buckets ready.
-        while len(self.open_buckets()) < self.config.open_buckets:
-            self._new_bucket()
         # The closed image keeps occupying buffer space until the image
-        # manager takes ownership; transfer the reservation to it.
+        # manager takes ownership; transfer the reservation to it *before*
+        # recycling.  The hand-off releases a full bucket's reservation
+        # and re-allocates at most that much (the image's logical size),
+        # so it can never fail — whereas recycling first could eat the
+        # freed space and leave the sealed image orphaned in the manager
+        # (readable by nobody: not an open bucket, never buffered).
         self.volume.release(self.config.bucket_capacity)
         if self.on_bucket_closed is not None:
             self.on_bucket_closed(image)
+        # Recycle: keep the configured number of open buckets ready.
+        # Under genuine buffer pressure this may raise ENOSPC at the
+        # writer that triggered the close — clean backpressure, with the
+        # closed image already safely handed off.
+        while len(self.open_buckets()) < self.config.open_buckets:
+            self._new_bucket()
         return image
 
     def close_nonempty_buckets(self) -> list[DiscImage]:
@@ -179,6 +190,12 @@ class WritingBucketManager:
         cannot hold it, the file splits: the first subfile fills the
         current bucket (which closes), later subfiles continue in fresh
         buckets carrying link files pointing at the previous part (§4.5).
+
+        Bucket choice happens before the timed transfer, so a concurrent
+        writer can fill or seal the chosen bucket while this write's data
+        is still in flight.  Such a raced write restarts against another
+        bucket (the transfer time already spent stands, as it would for a
+        real rewrite); only the bucket-filesystem write is transactional.
         """
         size = len(data) if logical_size is None else int(logical_size)
         remaining_data = data
@@ -186,6 +203,7 @@ class WritingBucketManager:
         image_ids: list[str] = []
         sizes: list[int] = []
         part = 0
+        races = 0
         while True:
             bucket = None
             if prefer_bucket is not None:
@@ -208,9 +226,14 @@ class WritingBucketManager:
             extra_entries = 2 if part > 0 else 0  # link file entry + data block
             room = bucket.max_data_bytes_for(path, extra_entries)
             if room >= remaining_size:
-                yield from self._timed_write(
-                    bucket, path, remaining_data, remaining_size, mtime
-                )
+                try:
+                    yield from self._timed_write(
+                        bucket, path, remaining_data, remaining_size, mtime
+                    )
+                except (NoSpaceOLFSError, ReadOnlyOLFSError):
+                    avoid_buckets = self._raced(bucket, races, avoid_buckets)
+                    races += 1
+                    continue
                 if part > 0:
                     self._write_link(bucket, path, part, image_ids[-1], mtime)
                 image_ids.append(bucket.image_id)
@@ -234,7 +257,12 @@ class WritingBucketManager:
             take = room
             real_take = min(take, len(remaining_data))
             chunk = remaining_data[:real_take]
-            yield from self._timed_write(bucket, path, chunk, take, mtime)
+            try:
+                yield from self._timed_write(bucket, path, chunk, take, mtime)
+            except (NoSpaceOLFSError, ReadOnlyOLFSError):
+                avoid_buckets = self._raced(bucket, races, avoid_buckets)
+                races += 1
+                continue
             if part > 0:
                 self._write_link(bucket, path, part, image_ids[-1], mtime)
             image_ids.append(bucket.image_id)
@@ -243,6 +271,24 @@ class WritingBucketManager:
             remaining_size -= take
             part += 1
             self._close(bucket)
+
+    #: restart bound for raced writes.  Every restart re-pays the bucket
+    #: access latency and the buffer-volume transfer, so a livelock would
+    #: need another writer to fill a fresh bucket during every retry —
+    #: the cap only turns a pathological storm into a clean ENOSPC.
+    MAX_WRITE_RACES = 16
+
+    def _raced(
+        self, bucket: Bucket, races: int, avoid_buckets: Optional[set]
+    ) -> set:
+        """Account a mid-transfer bucket race; returns the new avoid set."""
+        self.write_races += 1
+        if races + 1 >= self.MAX_WRITE_RACES:
+            raise NoSpaceOLFSError(
+                f"write restarted {races + 1} times: every chosen bucket "
+                "was filled or sealed by concurrent writers mid-transfer"
+            )
+        return set(avoid_buckets or ()) | {bucket.image_id}
 
     def _pick_bucket(
         self, path: str, nbytes: int, avoid_buckets: Optional[set] = None

@@ -12,6 +12,10 @@ Three workloads chosen to exercise different layers of the stack:
 ``chaos_campaign``
     One seeded fault-injection campaign (``repro chaos``) — the heaviest
     consumer of the engine, tracing and fault subsystems together.
+``serve``
+    One multi-tenant serving run (``repro serve``): three client fleets
+    through the 10GbE link and the admission controller — the scenario
+    that stresses the bandwidth sharing and event-wakeup machinery.
 
 Each scenario is a zero-argument callable returning a small stats dict;
 the harness owns the timing, so the same callables feed both
@@ -123,10 +127,25 @@ def scenario_chaos_campaign(
     return stats
 
 
+def scenario_serve(seed: int = 42, duration_s: float = 30.0) -> dict:
+    from repro.serve import run_serve
+
+    report = run_serve(seed, duration_s=duration_s, prepopulate=9)
+    return {
+        "seed": seed,
+        "ops": report["totals"]["ops"],
+        "ok": report["totals"]["ok"],
+        "rejected": report["totals"]["rejected"],
+        "admission_ok": report["admission_audit"]["ok"],
+        "sim_seconds": round(report["duration_s"], 3),
+    }
+
+
 SCENARIOS: Dict[str, Callable[[], dict]] = {
     "cold_read": scenario_cold_read,
     "longevity_slice": scenario_longevity_slice,
     "chaos_campaign": scenario_chaos_campaign,
+    "serve": scenario_serve,
 }
 
 #: Scenarios that accept ``monitor=True`` to attach a repro.obs run report.

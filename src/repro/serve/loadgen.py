@@ -1,0 +1,378 @@
+"""Client fleets: open- and closed-loop load against a serving rack.
+
+``run_serve(seed, ...)`` is the whole experiment in one call: build a
+scaled-for-tests rack (or a two-rack replicated cluster), pre-populate
+it from :class:`~repro.workloads.generator.ArchivalWorkloadGenerator`
+streams, attach the 10GbE link and the admission controller, run every
+fleet's clients to the horizon, and reduce the outcome into the
+deterministic report of :mod:`repro.serve.report`.
+
+Two fleet modes (the TALICS³/LOCKSS load-model split):
+
+* **closed-loop** — each client issues, waits for completion, thinks an
+  exponential think time, repeats; concurrency is bounded by the client
+  count (how interactive users behave);
+* **open-loop** — arrivals are a seeded Poisson process that does *not*
+  wait for completions, so offered load keeps arriving while the rack
+  is slow — the regime where admission control earns its keep.
+
+Everything derives from one seed; ``run_serve`` is a pure function of
+its arguments and its report is byte-reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from repro import units
+from repro.errors import ROSError, SessionDisconnectedError
+from repro.faults.plan import FaultPlan
+from repro.serve.network import NetworkLink
+from repro.serve.report import build_report
+from repro.serve.session import (
+    ClientSession,
+    ClusterBackend,
+    OLFSBackend,
+    ServeOp,
+)
+from repro.serve.tenancy import AdmissionController, TenantSpec
+from repro.sim.engine import AllOf, Delay, Spawn
+from repro.sim.rng import DeterministicRNG
+from repro.sim.tracing import MetricsRegistry
+from repro.workloads.generator import (
+    SIZE_PROFILES,
+    ArchivalWorkloadGenerator,
+)
+
+#: in-simulation payload cap (matches the workload generator's default)
+PAYLOAD_CAP = 64 * 1024
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """One tenant's client fleet and its traffic shape."""
+
+    tenant: TenantSpec
+    clients: int = 2
+    #: "closed" (think-time loop) or "open" (Poisson arrivals)
+    mode: str = "closed"
+    #: closed-loop mean think time between ops (seconds)
+    think_s: float = 0.5
+    #: open-loop arrival rate for the whole fleet (ops/second)
+    arrival_rate: float = 2.0
+    #: fraction of ops that are reads (small extra slice become stats)
+    read_fraction: float = 0.7
+    #: size profile for writes (see workloads.generator.SIZE_PROFILES)
+    profile: str = "mixed"
+    max_file_bytes: int = 8 * units.MB
+
+    def __post_init__(self):
+        if self.mode not in ("closed", "open"):
+            raise ValueError(f"unknown fleet mode {self.mode!r}")
+        if self.clients < 1:
+            raise ValueError("fleet needs at least one client")
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ValueError("read_fraction must be in [0, 1]")
+        if self.profile not in SIZE_PROFILES:
+            raise ValueError(f"unknown profile {self.profile!r}")
+
+
+def default_fleets() -> list[FleetSpec]:
+    """The 3-tenant QoS demo.
+
+    ``bulk`` is unthrottled and write-heavy — it will saturate the link
+    and the drive pool.  ``gold`` is rate-limited, deadline-bounded and
+    heavily weighted, with an explicit p99 SLO the report checks.
+    ``scavenger`` is an open-loop trickle with a tiny queue, the first
+    tenant to see backpressure.
+    """
+    return [
+        FleetSpec(
+            tenant=TenantSpec("bulk", weight=1.0, max_queue=64),
+            clients=3,
+            mode="closed",
+            think_s=0.02,
+            read_fraction=0.3,
+            profile="media",
+            max_file_bytes=2 * units.MB,
+        ),
+        FleetSpec(
+            tenant=TenantSpec(
+                "gold",
+                rate_ops=50.0,
+                rate_bytes=32 * units.MB,
+                weight=4.0,
+                deadline_s=5.0,
+                slo_p99_s=2.0,
+            ),
+            clients=2,
+            mode="closed",
+            think_s=0.1,
+            read_fraction=0.8,
+            profile="iot",
+            max_file_bytes=256 * 1024,
+        ),
+        FleetSpec(
+            tenant=TenantSpec(
+                "scavenger",
+                rate_ops=10.0,
+                rate_bytes=4 * units.MB,
+                burst_ops=4.0,
+                weight=0.5,
+                max_queue=8,
+                deadline_s=2.0,
+            ),
+            clients=1,
+            mode="open",
+            arrival_rate=6.0,
+            read_fraction=0.5,
+            profile="iot",
+            max_file_bytes=128 * 1024,
+        ),
+    ]
+
+
+def _build_config():
+    from repro import OLFSConfig
+
+    # Unlike the chaos rig (64 KB buckets, tiny files), the serve rig
+    # keeps the scaled-for-tests default bucket so multi-megabyte
+    # masters don't shred into thousands of burn images per file.
+    return OLFSConfig(
+        data_discs_per_array=3,
+        parity_discs_per_array=1,
+        open_buckets=2,
+        read_cache_images=2,
+    ).scaled_for_tests()
+
+
+def _next_op(
+    fleet: FleetSpec,
+    rng: DeterministicRNG,
+    catalog: list[tuple[str, int]],
+    session_id: str,
+    counter: list[int],
+) -> ServeOp:
+    roll = rng.uniform()
+    if catalog and roll < fleet.read_fraction:
+        path, declared = catalog[rng.integers(0, len(catalog))]
+        return ServeOp("read", path, float(declared))
+    if catalog and roll < fleet.read_fraction + 0.05:
+        path, _declared = catalog[rng.integers(0, len(catalog))]
+        return ServeOp("stat", path, 0.0)
+    mean, sigma = SIZE_PROFILES[fleet.profile]
+    size = max(1, int(min(rng.lognormal(mean, sigma), fleet.max_file_bytes)))
+    payload = rng.bytes(min(size, PAYLOAD_CAP))
+    counter[0] += 1
+    path = f"/serve/{fleet.tenant.name}/{session_id}/f{counter[0]:05d}.bin"
+    return ServeOp(
+        "write", path, float(size), data=payload, logical_size=size
+    )
+
+
+def run_serve(
+    seed: int,
+    fleets: Optional[list[FleetSpec]] = None,
+    duration_s: float = 60.0,
+    prepopulate: int = 18,
+    backend: str = "olfs",
+    faults: bool = False,
+    fault_intensity: float = 1.0,
+    max_inflight: int = 8,
+) -> dict:
+    """Run one serving experiment; returns the report dict."""
+    if backend not in ("olfs", "cluster"):
+        raise ValueError(f"unknown backend {backend!r}")
+    fleets = list(fleets) if fleets is not None else default_fleets()
+    if not fleets:
+        raise ValueError("need at least one fleet")
+    rng = DeterministicRNG(seed).child("serve")
+
+    plan = None
+    if faults:
+        plan = FaultPlan.randomized(
+            rng.child("plan"), duration_s, intensity=fault_intensity,
+            serve=True,
+        )
+
+    # -- rack(s) -------------------------------------------------------
+    # Serving-sized buffer volumes: the chaos rig's 200 MB would fill in
+    # seconds under a saturating write fleet and turn every outcome into
+    # ENOSPC; the paper's rack fronts the drives with RAID-5 volumes.
+    config = _build_config()
+    rack_kwargs = dict(
+        roller_count=1, buffer_volume_capacity=4 * units.GB
+    )
+    if backend == "cluster":
+        from repro.cluster import RackCluster
+
+        cluster = RackCluster(
+            rack_count=2, replicas=1, config=config, **rack_kwargs
+        )
+        engine = cluster.engine
+        racks = cluster.racks
+        injector = None
+        if plan is not None:
+            from repro.faults.injector import FaultInjector
+
+            injector = (
+                FaultInjector(engine, plan, seed=seed)
+                .bind(racks[0])
+                .install()
+            )
+            injector.start()
+        backend_obj = ClusterBackend(cluster)
+    else:
+        from repro import ROS
+
+        ros = ROS(
+            config=config,
+            fault_plan=plan,
+            fault_seed=seed,
+            **rack_kwargs,
+        )
+        engine = ros.engine
+        racks = [ros]
+        injector = ros.fault_injector
+        backend_obj = OLFSBackend(ros)
+
+    # -- serving plumbing ----------------------------------------------
+    link = NetworkLink(engine)
+    admission = AdmissionController(
+        engine,
+        [fleet.tenant for fleet in fleets],
+        max_inflight=max_inflight,
+    )
+    metrics = MetricsRegistry()
+
+    # -- pre-population ------------------------------------------------
+    # Each fleet gets its own file population in its own size profile, so
+    # a small-file tenant's reads are not hostage to another tenant's
+    # multi-megabyte masters.
+    catalogs: list[list[tuple[str, int]]] = [[] for _ in fleets]
+    per_fleet = max(1, prepopulate // len(fleets))
+    writer = racks[0] if backend == "olfs" else None
+    for index, fleet in enumerate(fleets):
+        generator = ArchivalWorkloadGenerator(
+            profile=fleet.profile,
+            seed=seed + index,
+            root=f"/serve/{fleet.tenant.name}",
+            max_file_bytes=fleet.max_file_bytes,
+        )
+        for spec in generator.files(per_fleet):
+            try:
+                if writer is not None:
+                    writer.write(spec.path, spec.payload, spec.logical_size)
+                else:
+                    cluster.write(spec.path, spec.payload, spec.logical_size)
+            except ROSError:
+                continue
+            catalogs[index].append((spec.path, spec.declared_size))
+
+    # -- fleets --------------------------------------------------------
+    serve_start = engine.now
+    t_end = serve_start + duration_s
+    sessions: list[ClientSession] = []
+
+    def closed_loop(
+        session: ClientSession,
+        fleet: FleetSpec,
+        client_rng: DeterministicRNG,
+        catalog: list[tuple[str, int]],
+    ) -> Generator:
+        counter = [0]
+        while engine.now < t_end and not session.disconnected:
+            op = _next_op(
+                fleet, client_rng, catalog, session.session_id, counter
+            )
+            try:
+                outcome = yield from session.perform(op)
+            except SessionDisconnectedError:
+                return
+            if op.kind == "write" and outcome.status == "ok":
+                catalog.append((op.path, int(op.nbytes)))
+            yield Delay(client_rng.exponential(fleet.think_s))
+
+    def one_shot(
+        session: ClientSession,
+        op: ServeOp,
+        catalog: list[tuple[str, int]],
+    ) -> Generator:
+        try:
+            outcome = yield from session.perform(op)
+        except SessionDisconnectedError:
+            return
+        if op.kind == "write" and outcome.status == "ok":
+            catalog.append((op.path, int(op.nbytes)))
+
+    def open_loop(
+        session: ClientSession,
+        fleet: FleetSpec,
+        client_rng: DeterministicRNG,
+        catalog: list[tuple[str, int]],
+    ) -> Generator:
+        rate = fleet.arrival_rate / fleet.clients
+        counter = [0]
+        spawned = []
+        while not session.disconnected:
+            gap = client_rng.exponential(1.0 / rate)
+            if engine.now + gap >= t_end:
+                break
+            yield Delay(gap)
+            op = _next_op(
+                fleet, client_rng, catalog, session.session_id, counter
+            )
+            child = yield Spawn(
+                one_shot(session, op, catalog),
+                f"op-{session.session_id}-{counter[0]}",
+            )
+            spawned.append(child)
+        pending = [process for process in spawned if not process.done]
+        if pending:
+            yield AllOf(pending)
+
+    def main() -> Generator:
+        procs = []
+        for index, fleet in enumerate(fleets):
+            for client in range(fleet.clients):
+                session_id = f"{fleet.tenant.name}-{client}"
+                session = ClientSession(
+                    engine, session_id, fleet.tenant.name, link,
+                    admission, backend_obj, metrics,
+                )
+                sessions.append(session)
+                client_rng = rng.child(f"client-{session_id}")
+                loop = closed_loop if fleet.mode == "closed" else open_loop
+                process = yield Spawn(
+                    loop(session, fleet, client_rng, catalogs[index]),
+                    f"client-{session_id}",
+                )
+                procs.append(process)
+        yield AllOf(procs)
+
+    engine.run_process(main(), "serve-main")
+    elapsed = engine.now - serve_start
+    admission.close()
+    if injector is not None:
+        injector.stop()
+    for rack in racks:
+        rack.settle()
+
+    report = build_report(
+        seed=seed,
+        duration_s=elapsed,
+        metrics=metrics,
+        admission=admission,
+        link_health=link.health(),
+        backend=backend,
+    )
+    report["prepopulated"] = sum(len(catalog) for catalog in catalogs)
+    report["faults"] = bool(faults)
+    if injector is not None:
+        report["fault_events"] = len(injector.log)
+    report["sessions"] = {
+        session.session_id: dict(sorted(session.outcomes.items()))
+        for session in sorted(sessions, key=lambda s: s.session_id)
+    }
+    return report

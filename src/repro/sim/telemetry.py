@@ -11,6 +11,11 @@ process at its current suspension point instead of waiting for the next
 tick, so no sample is ever collected after ``stop()`` returns.  Samplers
 are also context managers — ``with Sampler(...) as s:`` starts on entry
 and stops on exit.
+
+The whole-run aggregate types (:class:`MetricsRegistry` and its
+counters/gauges/le-histograms, including :meth:`Histogram.quantile` for
+percentile reports) are re-exported here alongside the sampler so
+telemetry consumers import from one place.
 """
 
 from __future__ import annotations
@@ -18,6 +23,15 @@ from __future__ import annotations
 from typing import Callable, Generator, Optional
 
 from repro.sim.engine import Delay, Engine, Interrupt
+from repro.sim.tracing import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Sampler",
+]
 
 
 class Sampler:

@@ -433,6 +433,34 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile by linear interpolation in buckets.
+
+        Prometheus-style ``histogram_quantile``: find the bucket the
+        target rank falls in and interpolate linearly between its edges
+        (the first finite bucket's lower edge is 0 when its bound is
+        positive).  Edge cases: an empty histogram reports 0.0, and a
+        rank landing in the overflow (+Inf) bucket reports the highest
+        finite bound — the estimate saturates rather than invents a tail.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for index, bound in enumerate(self.bounds):
+            in_bucket = self.counts[index]
+            if in_bucket and cumulative + in_bucket >= rank:
+                if index == 0:
+                    lower = 0.0 if bound > 0 else bound
+                else:
+                    lower = self.bounds[index - 1]
+                fraction = (rank - cumulative) / in_bucket
+                return lower + (bound - lower) * fraction
+            cumulative += in_bucket
+        return self.bounds[-1]
+
     def buckets(self) -> dict[str, int]:
         out = {
             f"le_{bound:g}": count

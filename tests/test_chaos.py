@@ -12,7 +12,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.faults import ALL_KINDS, FaultPlan
+from repro.faults import ALL_KINDS, BASE_KINDS, FaultPlan
 from repro.faults.campaign import report_to_json, run_campaign
 from repro.sim.rng import DeterministicRNG
 
@@ -37,7 +37,7 @@ def test_randomized_plan_replays_byte_identically(seed, horizon, intensity):
         for _ in range(2)
     ]
     assert plans[0].to_json() == plans[1].to_json()
-    assert len(plans[0]) == len(ALL_KINDS)
+    assert len(plans[0]) == len(BASE_KINDS)
     for spec in plans[0]:
         assert spec.kind in ALL_KINDS
 
@@ -56,7 +56,7 @@ def test_campaign_replay_is_byte_identical():
 @pytest.mark.parametrize("seed", CORPUS_SEEDS)
 def test_corpus_campaign_invariants_hold(seed):
     report = run_campaign(seed, ops=30)
-    assert len(report["plan"]) == len(ALL_KINDS)
+    assert len(report["plan"]) == len(BASE_KINDS)
     assert not report["workload_violations"]
     failed = [inv for inv in report["invariants"] if not inv["ok"]]
     assert not failed, failed

@@ -121,3 +121,39 @@ def test_unknown_command_rejected():
 def test_command_required():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_serve_command_is_deterministic_and_passes(capsys, tmp_path):
+    out = tmp_path / "serve.json"
+    code, output = run_cli(
+        capsys, "serve", "--seed", "3", "--duration", "4",
+        "--prepopulate", "3", "--runs", "2", "--out", str(out),
+    )
+    assert code == 0
+    assert "serve report" in output
+    assert "admission audit: PASS" in output
+    assert "DETERMINISM VIOLATION" not in output
+    import json
+
+    report = json.loads(out.read_text())
+    assert report["totals"]["ops"] > 0
+
+
+def test_chaos_serve_flag_audits_fifth_invariant(capsys):
+    code, output = run_cli(
+        capsys, "chaos", "--seed", "11", "--ops", "12",
+        "--campaigns", "2", "--serve",
+    )
+    assert code == 0
+    assert "invariant no_admitted_request_lost: ok" in output
+    assert "serving:" in output
+    assert "all 5 invariants hold" in output
+
+
+def test_chaos_without_serve_keeps_four_invariants(capsys):
+    code, output = run_cli(
+        capsys, "chaos", "--seed", "7", "--ops", "12", "--campaigns", "1",
+    )
+    assert code == 0
+    assert "all 4 invariants hold" in output
+    assert "serving:" not in output

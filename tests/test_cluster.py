@@ -135,3 +135,82 @@ def test_cluster_survives_rack_loss_with_burned_data():
     cluster.fail_rack(home)
     result = cluster.read("/gold/asset.bin")
     assert result.data == payload
+
+
+# ----------------------------------------------------------------------
+# Failover beyond explicitly-down racks (any ROSError triggers it)
+# ----------------------------------------------------------------------
+def test_cluster_read_fails_over_on_rack_error_not_marked_down():
+    from repro.errors import TimeoutOLFSError
+
+    cluster = make_cluster(rack_count=3, replicas=1)
+    cluster.write("/ha/err.bin", b"still-here")
+    home = cluster.home_rack("/ha/err.bin")
+
+    def broken_read(path, version=None):
+        raise TimeoutOLFSError(f"{path}: injected timeout")
+
+    cluster.racks[home].read = broken_read
+    # The home rack is NOT marked down — its read just errors — and the
+    # replica still answers.
+    assert cluster.read("/ha/err.bin").data == b"still-here"
+    assert home not in cluster._down
+
+
+def test_cluster_read_reraises_last_error_when_every_holder_fails():
+    from repro.errors import TimeoutOLFSError
+
+    cluster = make_cluster(rack_count=2, replicas=0)
+    cluster.write("/ha/solo.bin", b"x")
+    home = cluster.home_rack("/ha/solo.bin")
+
+    def broken_read(path, version=None):
+        raise TimeoutOLFSError("injected")
+
+    cluster.racks[home].read = broken_read
+    with pytest.raises(TimeoutOLFSError):
+        cluster.read("/ha/solo.bin")
+
+
+def test_cluster_failover_under_active_fault_injector():
+    """Hard-fail every drive the home rack would fetch from; the read
+    fails over to the replica's buffered copy."""
+    from repro.faults import DRIVE_HARD, FaultPlan
+    from repro.faults.injector import FaultInjector
+
+    cluster = make_cluster(rack_count=2, replicas=1)
+    payload = b"fault-tolerant" * 500
+    cluster.write("/ha/asset.bin", payload)
+    cluster.flush()
+    home = cluster.home_rack("/ha/asset.bin")
+    injector = (
+        FaultInjector(cluster.engine, FaultPlan(), seed=1)
+        .bind(cluster.racks[home])
+        .install()
+    )
+    # Evict the home rack's cached copy so its read needs the drives.
+    image_id = cluster.racks[home].stat("/ha/asset.bin")["locations"][0]
+    cluster.racks[home].cache.evict(image_id)
+    for drive_set in cluster.racks[home].mech.drive_sets:
+        for drive in drive_set.drives:
+            injector.inject(
+                DRIVE_HARD, target=drive.drive_id, duration=3600.0
+            )
+    result = cluster.read("/ha/asset.bin")
+    assert result.data == payload
+    injector.stop()
+
+
+def test_cluster_read_process_fails_over():
+    """The generator form (serve path) has the same failover."""
+    cluster = make_cluster(rack_count=3, replicas=1)
+    cluster.write("/ha/gen.bin", b"generator")
+    home = cluster.home_rack("/ha/gen.bin")
+    cluster.fail_rack(home)
+
+    def proc():
+        result = yield from cluster.read_process("/ha/gen.bin")
+        return result
+
+    result = cluster.engine.run_process(proc())
+    assert result.data == b"generator"

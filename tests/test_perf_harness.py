@@ -39,8 +39,10 @@ def test_cold_read_scenario_runs():
     assert stats["read_seconds"] > 0
 
 
-def test_scenario_registry_has_the_three_canonical_workloads():
-    assert set(SCENARIOS) == {"cold_read", "longevity_slice", "chaos_campaign"}
+def test_scenario_registry_has_the_canonical_workloads():
+    assert set(SCENARIOS) == {
+        "cold_read", "longevity_slice", "chaos_campaign", "serve"
+    }
 
 
 def test_cold_read_scenario_attaches_run_report_under_monitor():

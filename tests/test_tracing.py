@@ -325,3 +325,35 @@ def test_registry_snapshot_is_deterministic():
     assert json.dumps(snapshot, sort_keys=True) == json.dumps(
         registry.snapshot(), sort_keys=True
     )
+
+
+def test_histogram_quantile_interpolates_within_buckets():
+    histogram = Histogram("h", (1.0, 2.0, 5.0))
+    # 4 observations spread across the first two buckets.
+    for value in (0.5, 0.75, 1.5, 1.75):
+        histogram.observe(value)
+    # p50 sits at the upper edge of the first bucket (2 of 4 <= 1.0).
+    assert histogram.quantile(0.5) == pytest.approx(1.0)
+    # p25 interpolates halfway into [0, 1].
+    assert histogram.quantile(0.25) == pytest.approx(0.5)
+    # p100 is the upper edge of the last occupied finite bucket.
+    assert histogram.quantile(1.0) == pytest.approx(2.0)
+
+
+def test_histogram_quantile_overflow_bucket_saturates():
+    """Mass above the last bound reports the last finite bound — the
+    +Inf bucket has no upper edge to interpolate toward."""
+    histogram = Histogram("h", (1.0, 2.0))
+    histogram.observe(100.0)
+    histogram.observe(200.0)
+    assert histogram.quantile(0.5) == pytest.approx(2.0)
+    assert histogram.quantile(0.99) == pytest.approx(2.0)
+
+
+def test_histogram_quantile_empty_and_validation():
+    histogram = Histogram("h", (1.0, 2.0))
+    assert histogram.quantile(0.5) == 0.0
+    with pytest.raises(ValueError):
+        histogram.quantile(-0.1)
+    with pytest.raises(ValueError):
+        histogram.quantile(1.5)
