@@ -14,6 +14,7 @@ builds what it needs and prints a report:
     monitor      run a scenario under full monitoring, emit the run report
     chaos        seeded fault-injection campaign with invariant checks
     serve        multi-tenant serving load run with QoS percentile report
+    preserve     decades-scale preservation campaign, loss-rate verdict
     bench        engine events/s + scenario wall-clock, perf-gate check
     profile      cProfile a scenario or microbench, top-N hotspots
 """
@@ -416,6 +417,109 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_preserve(args) -> int:
+    """Run a preservation campaign (twice, by default) and audit it.
+
+    The same seed must produce a byte-identical report every time.  With
+    ``--compare`` the same campaign also runs with scrub/audit/migration
+    disabled, and the run fails unless the preservation machinery made
+    the loss-rate metric strictly better (or kept a lossless archive
+    lossless).
+    """
+    import json
+
+    from repro.preserve import report_to_json, run_preserve
+
+    runs = []
+    for _ in range(max(1, args.runs)):
+        report = run_preserve(
+            args.seed,
+            files=args.files,
+            years=args.years,
+            intensity=args.intensity,
+            scrub=not args.no_scrub,
+            audit=not args.no_audit,
+            migrate=not args.no_migrate,
+            faults=not args.no_faults,
+        )
+        runs.append(report_to_json(report))
+    identical = all(run == runs[0] for run in runs[1:])
+    report = json.loads(runs[0])
+
+    verdict = report["verdict"]
+    print(f"preserve campaign: seed={args.seed} files={args.files} "
+          f"years={args.years} intensity={args.intensity} "
+          f"(x{len(runs)} runs)")
+    print(f"  config: scrub={report['config']['scrub']} "
+          f"audit={report['config']['audit']} "
+          f"migrate={report['config']['migrate']} "
+          f"faults={report['config']['faults']}")
+    print(f"  plan: {len(report['plan'])} fault specs, "
+          f"{len(report['fault_events'])} injector events, "
+          f"sim clock {report['final_time'] / 60:.1f} min")
+    for index, aging in enumerate(report["aging"]):
+        print(f"  rack {index} aging: {aging['discs_tracked']} discs to "
+              f"{aging['max_age_years']:.1f} years "
+              f"({aging['shocks']} shock(s), "
+              f"{aging['newly_bad_total']} sectors decayed)")
+    for index, scrub in enumerate(report["scrub"]):
+        print(f"  rack {index} scrub: {scrub['passes']} passes, "
+              f"{scrub['arrays_scrubbed']} arrays, "
+              f"{scrub['errors_found']} errors found, "
+              f"{scrub['images_repaired']} repaired, "
+              f"{scrub['images_migrated']} migrated")
+    audit = report.get("audit")
+    if audit is not None:
+        print(f"  audit: {audit['rounds']} rounds, "
+              f"{audit['repairs']} cross-rack repairs, "
+              f"{audit['unreadable']} unreadable copies seen")
+    for inv in report["invariants"]:
+        mark = "ok" if inv["ok"] else "VIOLATED"
+        print(f"  invariant {inv['invariant']}: {mark}")
+    print(f"  verdict: {verdict['bytes_lost']} / "
+          f"{verdict['stored_bytes']} bytes lost "
+          f"({len(verdict['files_lost'])} files) -> "
+          f"{verdict['bytes_lost_per_exabyte_decade']:.3g} "
+          f"bytes lost per exabyte-decade")
+
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(runs[0])
+        print(f"  wrote report to {args.out}")
+    if not identical:
+        print("DETERMINISM VIOLATION: reports differ across identical runs")
+        return 1
+    if not report["ok"]:
+        for inv in report["invariants"]:
+            if not inv["ok"]:
+                print(f"FAILED {inv['invariant']}: {inv['detail']}")
+        return 1
+    if args.compare:
+        baseline = run_preserve(
+            args.seed,
+            files=args.files,
+            years=args.years,
+            intensity=args.intensity,
+            scrub=False,
+            audit=False,
+            migrate=False,
+            faults=not args.no_faults,
+        )
+        base_metric = baseline["verdict"]["bytes_lost_per_exabyte_decade"]
+        metric = verdict["bytes_lost_per_exabyte_decade"]
+        print(f"  unattended baseline: "
+              f"{baseline['verdict']['bytes_lost']} bytes lost -> "
+              f"{base_metric:.3g} per exabyte-decade")
+        improved = metric < base_metric or (metric == 0 and base_metric == 0)
+        if not improved:
+            print("NO PRESERVATION BENEFIT: metric not strictly below "
+                  "the unattended baseline")
+            return 1
+    print(f"  all {len(report['invariants'])} invariants hold; "
+          f"{len(runs)} runs byte-identical")
+    return 0
+
+
 def cmd_bench(args) -> int:
     """Engine microbenches (events/s) + scenario wall-clock, with a gate."""
     from repro.perf.harness import (
@@ -606,6 +710,32 @@ def build_parser() -> argparse.ArgumentParser:
                        help="admission controller inflight cap")
     serve.add_argument("--out", help="write the JSON report here")
     serve.set_defaults(handler=cmd_serve)
+
+    preserve = sub.add_parser(
+        "preserve", help="decades-scale preservation campaign + verdict"
+    )
+    preserve.add_argument("--seed", type=int, default=7)
+    preserve.add_argument("--files", type=int, default=12,
+                          help="archive files written before the campaign")
+    preserve.add_argument("--years", type=float, default=30.0,
+                          help="simulated media-years the campaign covers")
+    preserve.add_argument("--intensity", type=float, default=1.0,
+                          help="fault-plan hazard multiplier")
+    preserve.add_argument("--runs", type=int, default=2,
+                          help="identical runs to byte-compare (default 2)")
+    preserve.add_argument("--compare", action="store_true",
+                          help="also run with scrub/audit/migration off and "
+                               "require a strictly better loss metric")
+    preserve.add_argument("--no-scrub", action="store_true",
+                          help="disable the background scrubber")
+    preserve.add_argument("--no-audit", action="store_true",
+                          help="disable the cross-rack anti-entropy audit")
+    preserve.add_argument("--no-migrate", action="store_true",
+                          help="disable age-triggered media migration")
+    preserve.add_argument("--no-faults", action="store_true",
+                          help="aging only: no chaos fault storm")
+    preserve.add_argument("--out", help="write the JSON report here")
+    preserve.set_defaults(handler=cmd_preserve)
 
     bench = sub.add_parser(
         "bench", help="engine events/s + scenario wall-clock, perf gate"

@@ -34,6 +34,7 @@ from repro.faults.plan import (
     DRIVE_TRANSIENT,
     FaultPlan,
     FaultSpec,
+    MEDIA_AGING,
     NET_LINK_FLAP,
     OLFS_CRASH,
     PLC_ARM_JAM,
@@ -55,6 +56,8 @@ DEFAULT_JAM_DRIFT = 3.0
 DEFAULT_BURST_SECTORS = 4
 #: default crash downtime when a spec does not give one
 DEFAULT_CRASH_DOWNTIME = 30.0
+#: default extra media age (years) applied by an aging shock
+DEFAULT_AGING_SHOCK_YEARS = 3.0
 
 
 class FaultInjector:
@@ -79,6 +82,8 @@ class FaultInjector:
         #: arrays already carrying an injected burst (keep each array
         #: within its parity budget so scrub repair always succeeds)
         self._corrupted_arrays: set = set()
+        #: aging clocks accelerated-aging shocks act on (preserve runs)
+        self._aging_clocks: list = []
         self._drivers: list = []
         self._active = True
         #: chronological record of everything injected (campaign report)
@@ -90,6 +95,12 @@ class FaultInjector:
     def bind(self, ros) -> "FaultInjector":
         """Attach the OLFS instance applied faults act on."""
         self._ros = ros
+        return self
+
+    def bind_aging(self, clock) -> "FaultInjector":
+        """Attach an :class:`~repro.preserve.aging.AgingClock` so
+        ``media.accelerated_aging`` shocks reach its discs."""
+        self._aging_clocks.append(clock)
         return self
 
     def install(self) -> "FaultInjector":
@@ -193,6 +204,7 @@ class FaultInjector:
             OLFS_CRASH: self._apply_crash,
             NET_LINK_FLAP: self._apply_link_flap,
             CLIENT_DISCONNECT: self._apply_client_disconnect,
+            MEDIA_AGING: self._apply_media_aging,
         }[spec.kind]
         handler(spec)
 
@@ -275,7 +287,7 @@ class FaultInjector:
     def _apply_cache_loss(self, spec: FaultSpec) -> None:
         ros = self._require_ros()
         dropped = 0
-        for image_id in list(ros.cache.cached_ids()):
+        for image_id in list(ros.cache.cached_ids):
             ros.cache.evict(image_id)
             dropped += 1
         file_cache = getattr(ros.ftm, "file_cache", None)
@@ -299,6 +311,30 @@ class FaultInjector:
         # whichever session checks first).
         self._arm_oneshot(SITE_CLIENT_SESSION, spec.target or "", spec)
         self._log("arm", spec.kind, spec.target or "*")
+
+    def _apply_media_aging(self, spec: FaultSpec) -> None:
+        # Environmental excursion: dump extra simulated years of media
+        # decay on ONE bound aging clock (preservation campaigns bind
+        # one clock per rack).  Racks live in different environments, so
+        # a heat/humidity epoch hits one of them — never all replicas at
+        # once; that independence is exactly what cross-rack anti-entropy
+        # repair depends on.  Without a clock there is nothing to age.
+        years = float(spec.detail.get("years", DEFAULT_AGING_SHOCK_YEARS))
+        if not self._aging_clocks:
+            self._log("skip", spec.kind, "-")
+            return
+        if spec.target is not None:
+            index = int(spec.target) % len(self._aging_clocks)
+        else:
+            index = self.rng.integers(0, len(self._aging_clocks))
+        newly_bad = self._aging_clocks[index].shock(years)
+        self._log(
+            "apply",
+            spec.kind,
+            f"rack-{index}",
+            years=years,
+            sectors=newly_bad,
+        )
 
     def _apply_crash(self, spec: FaultSpec) -> None:
         ros = self._require_ros()

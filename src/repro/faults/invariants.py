@@ -22,6 +22,14 @@ I5. **No admitted request lost.**  Every request the admission
     every submitted ticket is accounted admitted/rejected/timed-out,
     and nothing is left queued after the system drains.
 
+Preservation campaigns (``python -m repro preserve``) add:
+
+I7. **The audit converges.**  After the final anti-entropy round, every
+    replica holder of every audited path serves byte-identical content
+    (holders that cannot serve at all are availability events, not
+    divergence — a surviving minority copy must still match the
+    majority it was repaired from).
+
 Each check returns ``{"invariant": name, "ok": bool, "detail": {...}}``
 with JSON-safe details, so reports serialize deterministically.
 """
@@ -196,6 +204,33 @@ def check_no_admitted_request_lost(admission) -> dict:
         "no_admitted_request_lost",
         ok,
         {"checked": submitted, "note": note},
+    )
+
+
+# ----------------------------------------------------------------------
+# I7: anti-entropy audit converges (preservation campaigns)
+# ----------------------------------------------------------------------
+def check_audit_convergence(cluster, paths) -> dict:
+    """I7: post-repair, every reachable holder serves identical bytes."""
+    checked = 0
+    problems = []
+    for path in sorted(paths):
+        holders = cluster._alive(cluster.placement(path))
+        blobs = []
+        for index in holders:
+            try:
+                blobs.append(cluster.racks[index].read(path).data)
+            except ROSError:
+                # Unreadable copies are loss/availability events counted
+                # by the verdict, not divergence between live copies.
+                continue
+        checked += 1
+        if len({blob for blob in blobs}) > 1:
+            problems.append({"path": path, "problem": "holders diverge"})
+    return _result(
+        "audit_converges",
+        not problems,
+        {"checked": checked, "problems": problems[:10]},
     )
 
 

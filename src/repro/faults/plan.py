@@ -46,6 +46,14 @@ Taxonomy
     drops: its next operation raises
     :class:`~repro.errors.SessionDisconnectedError` and the session stops
     issuing work.
+``media.accelerated_aging``
+    An environmental excursion (heat/humidity epoch) instantly ages every
+    burned disc in ONE rack by ``detail["years"]`` simulated years: the
+    targeted :class:`~repro.preserve.aging.AgingClock` (``target`` = rack
+    index, or a seeded pick) applies the extra dose through its
+    :class:`~repro.media.errors_model.SectorErrorModel`.  Racks sit in
+    different rooms, so an excursion never hits every replica at once.
+    Ignored (logged as a skip) when no aging clock is bound.
 """
 
 from __future__ import annotations
@@ -63,6 +71,7 @@ CACHE_LOSS = "cache.device_loss"
 OLFS_CRASH = "olfs.crash_restart"
 NET_LINK_FLAP = "net.link_flap"
 CLIENT_DISCONNECT = "client.disconnect"
+MEDIA_AGING = "media.accelerated_aging"
 
 #: Kinds every randomized plan draws (the storage-side storm).
 BASE_KINDS = (
@@ -82,8 +91,14 @@ SERVE_KINDS = (
     CLIENT_DISCONNECT,
 )
 
+#: Kinds drawn only for preservation campaigns
+#: (``randomized(..., preserve=True)``).
+PRESERVE_KINDS = (
+    MEDIA_AGING,
+)
+
 #: Every fault kind the injector understands.
-ALL_KINDS = BASE_KINDS + SERVE_KINDS
+ALL_KINDS = BASE_KINDS + SERVE_KINDS + PRESERVE_KINDS
 
 
 @dataclass
@@ -163,6 +178,30 @@ class FaultPlan:
             separators=(",", ":"),
         )
 
+    def shifted(self, offset: float) -> "FaultPlan":
+        """A copy of this plan with every timing moved ``offset`` later.
+
+        Scheduled times (``at``) and hazard bounds (``until``) shift;
+        rates and durations are unchanged.  Preservation campaigns use
+        this to aim a plan drawn over ``[0, horizon]`` at the campaign
+        window, which only starts once the archive has been populated.
+        """
+        shifted = []
+        for spec in self.specs:
+            shifted.append(
+                FaultSpec(
+                    spec.kind,
+                    at=None if spec.at is None else spec.at + offset,
+                    hazard_rate=spec.hazard_rate,
+                    target=spec.target,
+                    duration=spec.duration,
+                    count=spec.count,
+                    until=None if spec.until is None else spec.until + offset,
+                    detail=dict(spec.detail),
+                )
+            )
+        return FaultPlan(shifted)
+
     @classmethod
     def randomized(
         cls,
@@ -170,6 +209,7 @@ class FaultPlan:
         horizon: float,
         intensity: float = 1.0,
         serve: bool = False,
+        preserve: bool = False,
     ) -> "FaultPlan":
         """A seeded mixed-fault schedule over ``[0, horizon]`` sim seconds.
 
@@ -183,6 +223,11 @@ class FaultPlan:
         specs are appended *after* every baseline draw, so ``serve=False``
         plans stay byte-identical to plans built before the serving layer
         existed.
+
+        With ``preserve=True`` the plan adds a preservation-campaign
+        fault: one accelerated-aging shock that dumps extra simulated
+        years of media decay mid-run.  Its draws follow every baseline
+        (and serve) draw, preserving the same byte-identity discipline.
         """
         plan = cls()
         # Transient burn errors: the most common fault in a burning rack.
@@ -237,5 +282,13 @@ class FaultPlan:
                 CLIENT_DISCONNECT,
                 hazard_rate=intensity * 1.0 / max(horizon, 1.0),
                 until=horizon,
+            )
+        if preserve:
+            # Preservation-campaign fault, drawn after everything else so
+            # plans without it keep their exact draw sequence.
+            plan.add(
+                MEDIA_AGING,
+                at=rng.uniform(max(horizon * 0.3, 0.1), max(horizon * 0.9, 0.2)),
+                detail={"years": round(rng.uniform(1.0, 6.0), 6)},
             )
         return plan

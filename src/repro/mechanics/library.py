@@ -324,6 +324,21 @@ class MechanicalSubsystem:
         finally:
             grant.release()
 
+    def _orphaned_sets(self, roller_index: int) -> list:
+        """Idle drive sets holding discs with no home tray recorded.
+
+        The signature of a load aborted after disc separation began but
+        before ``loaded_from`` was stamped; only
+        :meth:`reset_after_fault` can return such a set's discs home.
+        """
+        return [
+            drive_set
+            for drive_set in self.sets_of_roller(roller_index)
+            if not drive_set.is_busy
+            and drive_set.loaded_from is None
+            and any(drive.disc is not None for drive in drive_set.drives)
+        ]
+
     @staticmethod
     def _home_of_disc(disc_id: str) -> Optional[TrayAddress]:
         """Parse the home tray out of a ``populate_blank`` disc id."""
@@ -346,8 +361,12 @@ class MechanicalSubsystem:
         for roller_index, (roller, arm) in enumerate(
             zip(self.rollers, self.arms)
         ):
+            orphaned = self._orphaned_sets(roller_index)
             if not (
-                roller.fanned_out is not None or arm.hooked or arm.holding
+                roller.fanned_out is not None
+                or arm.hooked
+                or arm.holding
+                or orphaned
             ):
                 continue
             grant = yield Acquire(self._arm_locks[roller_index], priority)
@@ -406,6 +425,46 @@ class MechanicalSubsystem:
                         tray.put_back(stack)
                     roller._fanned_out = None
                     roller.aligned = False
+                # A load aborted between the first disc separation and
+                # the home-tray record leaves a set holding discs with
+                # ``loaded_from`` unset (and, if the abort hit the last
+                # separation, an empty arm — invisible to the checks
+                # above).  Such a set can never be unloaded through the
+                # normal path, so empty it back to its home tray here.
+                for drive_set in self._orphaned_sets(roller_index):
+                    held = [
+                        drive.disc
+                        for drive in drive_set.drives
+                        if drive.disc is not None
+                    ]
+                    home = self._home_of_disc(held[0].disc_id)
+                    if home is not None:
+                        candidate = roller.tray_at(home)
+                        if not candidate.checked_out and not candidate.is_empty:
+                            home = None  # home tray re-occupied; fall back
+                    if home is None:
+                        home = next(
+                            (
+                                address
+                                for address in self.geometry.addresses()
+                                if roller.tray_at(address).checked_out
+                                and roller.tray_at(address).is_empty
+                            ),
+                            None,
+                        )
+                    if home is None:
+                        continue  # nowhere safe to put the discs back
+                    stack = []
+                    for drive in drive_set.drives:
+                        if drive.disc is None:
+                            continue
+                        drive.open_tray()
+                        stack.append(drive.remove_disc())
+                        drive.close_tray()
+                    tray = roller.tray_at(home)
+                    if not tray.checked_out:
+                        tray.checked_out = True
+                    tray.put_back(stack)
                 arm.hooked = False
             finally:
                 grant.release()

@@ -5,9 +5,23 @@ Archive-grade Blu-ray media exhibit a sector error rate of roughly 1e-16
 run, so experiments that exercise the scrub/recover path inject errors at an
 elevated, configurable rate; the reliability *math* (1e-16 -> 1e-23 array
 rate) lives in :mod:`repro.reliability.model`.
+
+Two aging APIs coexist:
+
+* :meth:`SectorErrorModel.age_disc` — the original stateful "one scan pass"
+  draw: each call consumes RNG state, so repeated calls accumulate damage.
+  The scrub path and chaos rig depend on its exact draw sequence.
+* :meth:`SectorErrorModel.age_to` — the preservation-campaign form: a *pure
+  function* of ``(model seed, disc id, track, age)``.  The damage a disc
+  carries at age ``B`` is always a superset of its damage at any age
+  ``A <= B`` (monotone dose accumulation), identical seeds give identical
+  corruption sets, and re-applying the same age is idempotent — the
+  properties the hypothesis suite pins.
 """
 
 from __future__ import annotations
+
+import math
 
 from repro.media.disc import OpticalDisc
 from repro.sim.rng import DeterministicRNG
@@ -16,18 +30,48 @@ from repro.sim.rng import DeterministicRNG
 PAPER_SECTOR_ERROR_RATE = 1e-16
 
 
+def _poisson_icdf(threshold: float, expected: float, cap: int) -> int:
+    """Inverse-CDF sample of ``Poisson(expected)`` at quantile ``threshold``.
+
+    Monotone non-decreasing in ``expected`` for a fixed threshold — the
+    property :meth:`SectorErrorModel.age_to` leans on for dose monotonicity.
+    """
+    if expected <= 0:
+        return 0
+    count = 0
+    cumulative = math.exp(-expected)
+    probability = cumulative
+    while threshold > cumulative and count < cap:
+        count += 1
+        probability *= expected / count
+        cumulative += probability
+    return count
+
+
 class SectorErrorModel:
-    """Injects unreadable sectors into burned discs, deterministically."""
+    """Injects unreadable sectors into burned discs, deterministically.
+
+    ``sector_error_rate`` is the per-sector failure probability of one scan
+    pass (:meth:`age_disc`) and the *year-zero* hazard of the age-driven
+    form (:meth:`age_to`).  ``growth_per_year`` makes the hazard grow
+    linearly with disc age — media degrade faster as they get old — so the
+    accumulated dose over ``age`` years is
+    ``rate * (age + growth_per_year * age^2 / 2)`` per sector.
+    """
 
     def __init__(
         self,
         rng: DeterministicRNG,
         sector_error_rate: float = PAPER_SECTOR_ERROR_RATE,
+        growth_per_year: float = 0.0,
     ):
         if not 0.0 <= sector_error_rate <= 1.0:
             raise ValueError(f"invalid error rate {sector_error_rate}")
+        if growth_per_year < 0.0:
+            raise ValueError(f"invalid growth rate {growth_per_year}")
         self.rng = rng
         self.sector_error_rate = sector_error_rate
+        self.growth_per_year = growth_per_year
 
     def age_disc(self, disc: OpticalDisc) -> int:
         """Visit every burned sector once and mark failures.
@@ -54,18 +98,65 @@ class SectorErrorModel:
         if expected <= 0:
             return 0
         # Poisson approximation of the binomial; exact enough at these rates.
-        count = 0
         threshold = self.rng.uniform()
-        # Inverse-CDF sampling of Poisson(expected).
-        import math
+        return _poisson_icdf(threshold, expected, sectors)
 
-        cumulative = math.exp(-expected)
-        probability = cumulative
-        while threshold > cumulative and count < sectors:
-            count += 1
-            probability *= expected / count
-            cumulative += probability
-        return count
+    # ------------------------------------------------------------------
+    # Age-driven form (preservation campaigns)
+    # ------------------------------------------------------------------
+    def rate_at(self, age_years: float) -> float:
+        """Instantaneous per-sector hazard at disc age ``age_years``."""
+        age = max(0.0, age_years)
+        return self.sector_error_rate * (1.0 + self.growth_per_year * age)
+
+    def expected_dose(self, sectors: int, age_years: float) -> float:
+        """Expected bad-sector count accumulated by ``age_years``.
+
+        The integral of :meth:`rate_at` over ``[0, age]`` times the sector
+        count — monotone non-decreasing in age.
+        """
+        age = max(0.0, age_years)
+        per_sector = self.sector_error_rate * (
+            age + 0.5 * self.growth_per_year * age * age
+        )
+        return sectors * per_sector
+
+    def bad_sectors_at(
+        self, disc: OpticalDisc, age_years: float
+    ) -> set[int]:
+        """The corruption set ``disc`` carries at ``age_years`` — pure.
+
+        Derived entirely from the model seed, the disc id, the track index
+        and the age: one substream per ``(disc, track)`` supplies a fixed
+        Poisson quantile plus a position sequence, and the age only moves
+        the expected dose.  Because the quantile is fixed and positions are
+        read as a prefix of the same sequence, ``bad_sectors_at(d, A)`` is
+        a subset of ``bad_sectors_at(d, B)`` whenever ``A <= B``.
+        """
+        bad: set[int] = set()
+        for index, track in enumerate(disc.tracks):
+            stream = self.rng.child(f"age:{disc.disc_id}:{index}")
+            threshold = stream.uniform()
+            expected = self.expected_dose(track.sector_count, age_years)
+            count = _poisson_icdf(threshold, expected, track.sector_count)
+            for _ in range(count):
+                bad.add(
+                    track.start_sector
+                    + stream.integers(0, track.sector_count)
+                )
+        return bad
+
+    def age_to(self, disc: OpticalDisc, age_years: float) -> int:
+        """Advance ``disc`` to ``age_years``: apply its corruption set.
+
+        Idempotent per age and cumulative across ages (re-applying an older
+        age never removes damage — WORM media only decay).  Returns the
+        number of newly bad sectors.
+        """
+        target = self.bad_sectors_at(disc, age_years)
+        new = target - disc.bad_sectors
+        disc.bad_sectors |= new
+        return len(new)
 
     def corrupt_exact(self, disc: OpticalDisc, sectors: list[int]) -> None:
         """Deterministically mark specific sectors bad (failure injection)."""

@@ -154,6 +154,34 @@ PAPER_SLOS: tuple[SLO, ...] = (
 )
 
 
+#: Preservation-campaign envelopes (repro.preserve).  Scrubbing one
+#: array is bounded by load + per-disc mount/seek/read + unload plus
+#: repair rewrites; an anti-entropy round may cold-read every audited
+#: path from both replicas (Table 1 worst case per copy).
+PRESERVE_SLOS: tuple[SLO, ...] = (
+    SLO(
+        name="preserve.scrub_array",
+        span_name="preserve.scrub_array",
+        max_seconds=900.0,
+        source="§4.7 / Table 3",
+        description=(
+            "One patrol scrub (load, verify every disc, repair, unload) "
+            "stays under 15 simulated minutes"
+        ),
+    ),
+    SLO(
+        name="preserve.audit_round",
+        span_name="preserve.audit_round",
+        max_seconds=3600.0,
+        source="Table 1",
+        description=(
+            "One anti-entropy round over the archive completes within a "
+            "simulated hour even when every read is cold"
+        ),
+    ),
+)
+
+
 def evaluate(
     slos: Iterable[SLO], spans: Iterable[Span]
 ) -> list[dict]:

@@ -14,6 +14,7 @@ are charged to the volumes the I/O scheduler assigns).
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 from dataclasses import dataclass, field
 from typing import Generator, Optional
@@ -45,6 +46,9 @@ class ImageRecord:
     disc_id: Optional[str] = None
     #: tray position of that disc's array (roller index, layer, slot)
     array_address: Optional[tuple] = None
+    #: sha256 of the serialized image as burned — the stored checksum the
+    #: background scrubber verifies disc sectors against (§4.7)
+    checksum: Optional[str] = None
 
     @property
     def on_buffer(self) -> bool:
@@ -113,6 +117,13 @@ class DiscImageManager:
         record.state = BURNED
         record.disc_id = disc_id
         record.array_address = array_address
+        # The burned bytes are the serialized image; fingerprint them so
+        # scrubs can verify track payloads end-to-end (content integrity,
+        # not just readable-sector bookkeeping).
+        if record.checksum is None and record.image is not None:
+            record.checksum = hashlib.sha256(
+                record.image.serialize()
+            ).hexdigest()
 
     def evict_content(self, image_id: str) -> None:
         """Drop a burned image's bytes from the disk buffer."""

@@ -10,6 +10,7 @@ free disc arrays." (§4.7)
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Generator, Optional
 
@@ -80,15 +81,20 @@ class MaintenanceInterface:
         roller: int,
         address: TrayAddress,
         error_model: Optional[SectorErrorModel] = None,
+        migrate: bool = False,
     ) -> Generator:
         """Check one burned array's sectors; repair damaged images.
 
         Loads the array, optionally ages the discs through the error
-        model, reads every track (timed), and for any disc with
-        unreadable payload sectors reconstructs the lost image from the
-        XOR parity disc plus the sibling data discs, then rewrites the
-        recovered files into fresh buckets and repoints the MV index
-        entries (§4.7).  Returns a report dict.
+        model, reads every track (timed), verifies each payload against
+        the checksum stored at burn time, and for any disc with
+        unreadable or mismatching payload sectors reconstructs the lost
+        image from the XOR parity disc plus the sibling data discs, then
+        rewrites the recovered files into fresh buckets and repoints the
+        MV index entries (§4.7).  With ``migrate=True`` every readable
+        data image is additionally rewritten onto fresh media and the
+        tray retired — the media-refresh path of a preservation
+        campaign.  Returns a report dict.
         """
         mech = self.mc.mech
         self.scrubs += 1
@@ -99,6 +105,7 @@ class MaintenanceInterface:
         report = {
             "checked": 0,
             "errors": 0,
+            "checksum_mismatches": 0,
             "repaired": [],
             "migrated": [],
             "lost": [],
@@ -112,6 +119,7 @@ class MaintenanceInterface:
             failed: dict[str, int] = {}  # image_id -> lost blob length
             parity_raw: Optional[bytes] = None
             parity_failed = False
+            parity_labels: list[str] = []
             for drive in drive_set.drives:
                 disc = drive.disc
                 if disc is None or not disc.tracks:
@@ -120,6 +128,8 @@ class MaintenanceInterface:
                     self.sector_errors_found += error_model.age_disc(disc)
                 report["checked"] += 1
                 label = disc.tracks[0].label
+                if label.startswith("par-"):
+                    parity_labels.append(label)
                 yield from drive.mount()
                 yield from drive.seek()
                 yield from drive.read_bytes(disc.tracks[0].logical_size)
@@ -127,6 +137,23 @@ class MaintenanceInterface:
                     blob = disc.read_track(0)
                 except SectorError:
                     report["errors"] += 1
+                    if label.startswith("par-"):
+                        parity_failed = True
+                    else:
+                        failed[label] = len(disc.tracks[0].payload)
+                    continue
+                record = self.dim.records.get(label)
+                if (
+                    record is not None
+                    and record.checksum is not None
+                    and hashlib.sha256(blob).hexdigest() != record.checksum
+                ):
+                    # Sectors read back, but the bytes differ from the
+                    # fingerprint stored at burn time: silent corruption.
+                    # Treat exactly like an unreadable image (§4.7).
+                    report["errors"] += 1
+                    report["checksum_mismatches"] += 1
+                    self.sector_errors_found += 1
                     if label.startswith("par-"):
                         parity_failed = True
                     else:
@@ -164,7 +191,7 @@ class MaintenanceInterface:
                     restored = DiscImage.deserialize(blob)
                     yield from self._rewrite_image(image_id, restored)
                     report["migrated"].append(image_id)
-                self.mc.set_state(roller, address, ArrayState.FAILED)
+                self._retire_array(roller, address, parity_labels)
             if parity_failed and not failed_data:
                 # Degraded redundancy: the data is intact but unprotected.
                 # Proactively migrate every data image to fresh buckets so
@@ -174,11 +201,54 @@ class MaintenanceInterface:
                     restored = DiscImage.deserialize(blob)
                     yield from self._rewrite_image(image_id, restored)
                     report["migrated"].append(image_id)
-                self.mc.set_state(roller, address, ArrayState.FAILED)
+                self._retire_array(roller, address, parity_labels)
+            if migrate and self.mc.state_of(roller, address) is ArrayState.USED:
+                # Media refresh: rewrite every surviving data image into
+                # fresh buckets and retire the aging tray, so the next
+                # burn lands the data on young media (§4.7 applied
+                # proactively by a migration campaign).
+                for image_id in sorted(blobs):
+                    restored = DiscImage.deserialize(blobs[image_id])
+                    yield from self._rewrite_image(image_id, restored)
+                    report["migrated"].append(image_id)
+                self._retire_array(roller, address, parity_labels)
             yield from mech.unload_array(set_id, priority=PRIORITY_FETCH)
             return report
         finally:
             grant.release()
+
+    def _retire_array(self, roller: int, address: TrayAddress,
+                      parity_labels: list[str]) -> None:
+        """Mark an array FAILED and supersede its parity records.
+
+        Data records are marked lost by :meth:`_rewrite_image` as they
+        are rewritten; the parity images burned on the retired tray are
+        superseded too (the replacement array will get fresh parity), so
+        the DIM never claims a burned image on a FAILED array.
+        """
+        self.mc.set_state(roller, address, ArrayState.FAILED)
+        for label in parity_labels:
+            record = self.dim.records.get(label.split(".")[0])
+            if record is not None:
+                record.state = "lost"
+                record.image = None
+
+    def migrate_array(
+        self,
+        roller: int,
+        address: TrayAddress,
+        error_model: Optional[SectorErrorModel] = None,
+    ) -> Generator:
+        """Refresh one aging array onto new media.
+
+        A scrub pass with mandatory migration: damaged images are
+        repaired through parity first, then every data image is
+        rewritten into fresh buckets and the old tray is retired.
+        """
+        report = yield from self.scrub_array(
+            roller, address, error_model=error_model, migrate=True
+        )
+        return report
 
     def _rewrite_image(
         self, lost_image_id: str, restored: DiscImage

@@ -1,0 +1,131 @@
+"""Accelerated media aging: decades of decay on a simulation clock.
+
+A :class:`AgingClock` maps simulated seconds onto disc-age years for one
+rack.  Every burned disc is *born* the first time the clock sees it
+carrying tracks; its age is then ``(now - birth) * years_per_second``
+plus the rack's accumulated ``shock_years`` (environmental excursions
+injected by the ``media.accelerated_aging`` fault).  :meth:`tick`
+advances every disc to its current age through the pure
+:meth:`~repro.media.errors_model.SectorErrorModel.age_to` form, so the
+damage a run accumulates is a deterministic function of (model seed,
+birth times, tick times) — replaying a seed replays the decay exactly.
+"""
+
+from __future__ import annotations
+
+from repro.media.errors_model import SectorErrorModel
+from repro.sim.engine import Engine
+
+#: Default compression: 600 simulated seconds cover 30 media years.
+DEFAULT_YEARS_PER_SECOND = 0.05
+
+
+class AgingClock:
+    """Per-rack accelerated-aging clock over one error model."""
+
+    def __init__(
+        self,
+        ros,
+        model: SectorErrorModel,
+        years_per_second: float = DEFAULT_YEARS_PER_SECOND,
+    ):
+        if years_per_second < 0:
+            raise ValueError("years_per_second must be non-negative")
+        self.ros = ros
+        self.engine: Engine = ros.engine
+        self.model = model
+        self.years_per_second = years_per_second
+        #: extra years every disc carries (accelerated-aging shocks)
+        self.shock_years = 0.0
+        #: disc_id -> simulated time the disc was first seen burned
+        self._birth: dict[str, float] = {}
+        self.ticks = 0
+        self.shocks = 0
+        self.newly_bad_total = 0
+        #: once set, ages stop accruing (campaign horizon reached)
+        self._frozen_at: float | None = None
+
+    # ------------------------------------------------------------------
+    def _burned_discs(self) -> dict:
+        """Every disc currently carrying tracks, wherever it sits."""
+        discs: dict[str, object] = {}
+        mech = self.ros.mech
+        for roller in mech.rollers:
+            for tray in roller.trays.values():
+                for disc in tray.discs():
+                    if disc.tracks:
+                        discs[disc.disc_id] = disc
+        for drive_set in mech.drive_sets:
+            for drive in drive_set.drives:
+                disc = drive.disc
+                if disc is not None and disc.tracks:
+                    discs[disc.disc_id] = disc
+        return discs
+
+    def age_of(self, disc_id: str) -> float:
+        """Current age in years of a known disc (0-aged if unseen)."""
+        now = self.engine.now
+        if self._frozen_at is not None:
+            now = min(now, self._frozen_at)
+        birth = self._birth.get(disc_id)
+        elapsed = 0.0 if birth is None else max(0.0, now - birth)
+        return elapsed * self.years_per_second + self.shock_years
+
+    def freeze(self) -> None:
+        """Stop the clock: ages no longer accrue past this instant.
+
+        The campaign freezes every clock at the horizon so the decay
+        dose is a function of the horizon alone — the post-horizon tail
+        (in-flight scrubs, final audit, verdict reads) takes different
+        simulated time under different configurations and must not age
+        the media further.
+        """
+        self._frozen_at = self.engine.now
+
+    # ------------------------------------------------------------------
+    def tick(self) -> int:
+        """Advance every burned disc to its current age.
+
+        Registers births for newly burned discs, then applies each
+        disc's (pure, monotone) corruption set.  Returns the number of
+        newly bad sectors across the rack.
+        """
+        discs = self._burned_discs()
+        now = self.engine.now
+        newly = 0
+        for disc_id in sorted(discs):
+            if disc_id not in self._birth:
+                self._birth[disc_id] = now
+            newly += self.model.age_to(discs[disc_id], self.age_of(disc_id))
+        self.ticks += 1
+        self.newly_bad_total += newly
+        return newly
+
+    def shock(self, years: float) -> int:
+        """An environmental excursion: age everything ``years`` extra.
+
+        Applies synchronously (the fault injector calls this from its
+        driver process) and returns the newly bad sector count.
+        """
+        if years < 0:
+            raise ValueError("shock years must be non-negative")
+        self.shock_years += float(years)
+        self.shocks += 1
+        return self.tick()
+
+    # ------------------------------------------------------------------
+    def max_age(self) -> float:
+        """Oldest tracked disc's age in years (0.0 before any birth)."""
+        if not self._birth:
+            return self.shock_years
+        return max(self.age_of(disc_id) for disc_id in self._birth)
+
+    def health(self) -> dict:
+        return {
+            "discs_tracked": len(self._birth),
+            "ticks": self.ticks,
+            "shocks": self.shocks,
+            "shock_years": round(self.shock_years, 6),
+            "max_age_years": round(self.max_age(), 6),
+            "newly_bad_total": self.newly_bad_total,
+        }

@@ -180,8 +180,17 @@ def run_serve(
     faults: bool = False,
     fault_intensity: float = 1.0,
     max_inflight: int = 8,
+    scrub: bool = False,
+    scrub_rate_bytes: float = 4 * units.MB,
 ) -> dict:
-    """Run one serving experiment; returns the report dict."""
+    """Run one serving experiment; returns the report dict.
+
+    With ``scrub=True`` a :class:`~repro.preserve.scrubber.
+    BackgroundScrubber` patrols the rack *during* the serving run,
+    admitted through the same controller as the paying tenants (its own
+    low-weight ``scrub`` tenant) — the QoS layer, not good manners, is
+    what keeps patrol I/O out of the gold tenant's p99.
+    """
     if backend not in ("olfs", "cluster"):
         raise ValueError(f"unknown backend {backend!r}")
     fleets = list(fleets) if fleets is not None else default_fleets()
@@ -239,9 +248,22 @@ def run_serve(
 
     # -- serving plumbing ----------------------------------------------
     link = NetworkLink(engine)
+    tenants = [fleet.tenant for fleet in fleets]
+    if scrub:
+        # Appended after every fleet tenant so scrub-off runs keep their
+        # exact tenant order (and byte-identical reports).
+        tenants.append(
+            TenantSpec(
+                "scrub",
+                rate_bytes=scrub_rate_bytes,
+                weight=0.25,
+                max_queue=4,
+                deadline_s=30.0,
+            )
+        )
     admission = AdmissionController(
         engine,
-        [fleet.tenant for fleet in fleets],
+        tenants,
         max_inflight=max_inflight,
     )
     metrics = MetricsRegistry()
@@ -269,6 +291,25 @@ def run_serve(
             except ROSError:
                 continue
             catalogs[index].append((spec.path, spec.declared_size))
+
+    scrubber = None
+    if scrub:
+        # Burn the pre-population to disc so the patrol has USED arrays
+        # to walk, then scrub under live traffic through the admission
+        # controller (budget mode two of the scrubber).
+        from repro.preserve.scrubber import BackgroundScrubber
+
+        try:
+            if backend == "olfs":
+                racks[0].flush()
+            else:
+                cluster.flush()
+        except ROSError:
+            pass
+        racks[0].settle()
+        scrubber = BackgroundScrubber(
+            racks[0], admission=admission, tenant="scrub"
+        )
 
     # -- fleets --------------------------------------------------------
     serve_start = engine.now
@@ -351,6 +392,8 @@ def run_serve(
                 procs.append(process)
         yield AllOf(procs)
 
+    if scrubber is not None:
+        engine.spawn(scrubber.run(t_end), name="serve-scrubber")
     engine.run_process(main(), "serve-main")
     elapsed = engine.now - serve_start
     admission.close()
@@ -369,6 +412,8 @@ def run_serve(
     )
     report["prepopulated"] = sum(len(catalog) for catalog in catalogs)
     report["faults"] = bool(faults)
+    if scrubber is not None:
+        report["scrub"] = scrubber.health()
     if injector is not None:
         report["fault_events"] = len(injector.log)
     report["sessions"] = {

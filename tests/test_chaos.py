@@ -61,3 +61,44 @@ def test_corpus_campaign_invariants_hold(seed):
     failed = [inv for inv in report["invariants"] if not inv["ok"]]
     assert not failed, failed
     assert report["ok"]
+
+
+# ----------------------------------------------------------------------
+# Preservation campaigns join the corpus (seeded replay + invariant 7)
+# ----------------------------------------------------------------------
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    horizon=st.floats(min_value=100.0, max_value=1e6),
+)
+@settings(max_examples=25, deadline=None)
+def test_preserve_plan_adds_aging_after_base_draws(seed, horizon):
+    """``preserve=True`` appends the aging shock *after* every baseline
+    draw, so plans without it replay byte-identically forever."""
+    from repro.faults.plan import MEDIA_AGING
+
+    rng = lambda: DeterministicRNG(seed).child("plan")  # noqa: E731
+    base = FaultPlan.randomized(rng(), horizon)
+    preserve = FaultPlan.randomized(rng(), horizon, preserve=True)
+    assert [s.to_dict() for s in preserve][: len(base)] == [
+        s.to_dict() for s in base
+    ]
+    assert preserve.specs[-1].kind == MEDIA_AGING
+
+
+@pytest.mark.parametrize("seed", CORPUS_SEEDS)
+def test_corpus_preserve_campaign_replay_and_convergence(seed):
+    """The preservation campaign is corpus material like the chaos
+    campaign: byte-identical replay, and invariant 7 (audit converges)
+    must hold on every pinned seed."""
+    from repro.preserve import report_to_json as preserve_json
+    from repro.preserve import run_preserve
+
+    reports = [run_preserve(seed, files=8) for _ in range(2)]
+    assert preserve_json(reports[0]) == preserve_json(reports[1])
+    audit = next(
+        inv
+        for inv in reports[0]["invariants"]
+        if inv["invariant"] == "audit_converges"
+    )
+    assert audit["ok"], audit
+    assert reports[0]["ok"]

@@ -1,0 +1,173 @@
+"""Hypothesis properties of the preservation layer.
+
+The age-driven :class:`~repro.media.errors_model.SectorErrorModel` form
+is a *pure function* of ``(model seed, disc id, track, age)``; campaigns
+(and their byte-identical replays) lean on three properties pinned here:
+
+* **determinism** — identical seeds give identical corruption sets;
+* **monotonicity** — the damage at age ``B`` is a superset of the damage
+  at any ``A <= B``, and stepwise aging lands on the same set as one
+  jump (WORM media only decay, never heal);
+* **repairability** — any single-data-disc dose the model deals is
+  undone by one scrub pass: a model-based check of the §4.7 scrub +
+  parity-rebuild path against the written-payload oracle.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.media.errors_model import SectorErrorModel
+from repro.sim.rng import DeterministicRNG
+from tests.conftest import make_ros
+
+#: One shared burned rack; `bad_sectors_at` is pure, so examples that
+#: only *query* the model can reuse it without cross-talk.
+_SHARED = None
+
+
+def shared_disc():
+    global _SHARED
+    if _SHARED is None:
+        ros = make_ros()
+        for index in range(4):
+            ros.write(f"/prop/f{index}.bin", bytes([index + 1]) * 15000)
+        ros.flush()
+        disc = next(
+            disc
+            for roller in ros.mech.rollers
+            for tray in roller.trays.values()
+            for disc in tray.discs()
+            if disc.tracks
+        )
+        _SHARED = (ros, disc)
+    return _SHARED[1]
+
+
+def model(seed, rate=1e-3, growth=0.4):
+    return SectorErrorModel(
+        DeterministicRNG(seed),
+        sector_error_rate=rate,
+        growth_per_year=growth,
+    )
+
+
+# ----------------------------------------------------------------------
+# Determinism and monotonicity of the pure aging form
+# ----------------------------------------------------------------------
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    age=st.floats(min_value=0.0, max_value=200.0),
+)
+@settings(max_examples=50, deadline=None)
+def test_bad_sectors_at_is_deterministic(seed, age):
+    disc = shared_disc()
+    assert model(seed).bad_sectors_at(disc, age) == model(
+        seed
+    ).bad_sectors_at(disc, age)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    age_a=st.floats(min_value=0.0, max_value=100.0),
+    age_b=st.floats(min_value=0.0, max_value=100.0),
+)
+@settings(max_examples=50, deadline=None)
+def test_damage_is_monotone_in_age(seed, age_a, age_b):
+    disc = shared_disc()
+    young, old = sorted((age_a, age_b))
+    m = model(seed)
+    assert m.bad_sectors_at(disc, young) <= m.bad_sectors_at(disc, old)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    ages=st.lists(
+        st.floats(min_value=0.0, max_value=60.0), min_size=1, max_size=6
+    ),
+)
+@settings(max_examples=50, deadline=None)
+def test_stepwise_aging_equals_one_jump(seed, ages):
+    """Ticking through intermediate ages accumulates exactly the damage
+    of jumping straight to the oldest age — patrol frequency changes
+    *when* damage is found, never *how much* exists."""
+    disc = shared_disc()
+    saved = set(disc.bad_sectors)
+    try:
+        disc.bad_sectors.clear()
+        m = model(seed)
+        for age in sorted(ages):
+            m.age_to(disc, age)
+        stepwise = set(disc.bad_sectors)
+        disc.bad_sectors.clear()
+        model(seed).age_to(disc, max(ages))
+        assert disc.bad_sectors == stepwise
+    finally:
+        disc.bad_sectors.clear()
+        disc.bad_sectors.update(saved)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    age=st.floats(min_value=0.0, max_value=60.0),
+)
+@settings(max_examples=50, deadline=None)
+def test_age_to_is_idempotent(seed, age):
+    disc = shared_disc()
+    saved = set(disc.bad_sectors)
+    try:
+        disc.bad_sectors.clear()
+        m = model(seed)
+        m.age_to(disc, age)
+        assert m.age_to(disc, age) == 0  # same age adds nothing
+    finally:
+        disc.bad_sectors.clear()
+        disc.bad_sectors.update(saved)
+
+
+# ----------------------------------------------------------------------
+# Model-based scrub/repair against the oracle
+# ----------------------------------------------------------------------
+@given(
+    seed=st.integers(min_value=0, max_value=2**16 - 1),
+    victims=st.lists(
+        st.integers(min_value=0, max_value=10**9),
+        min_size=1,
+        max_size=3,
+        unique=True,
+    ),
+)
+@settings(max_examples=10, deadline=None)
+def test_single_disc_damage_is_always_repaired(seed, victims):
+    """Corrupt one sector on at most one data disc per array, scrub
+    every array, and every file must read back equal to the oracle."""
+    ros = make_ros()
+    payloads = {}
+    for index in range(8):
+        path = f"/mb/f{index}.bin"
+        payloads[path] = bytes([index + 11]) * 15000
+        ros.write(path, payloads[path])
+    ros.flush()
+    arrays = sorted(ros.mc.array_images)
+    rng = DeterministicRNG(seed).child("victims")
+    for pick, (roller, address) in zip(sorted(victims), arrays):
+        data_images = [
+            i
+            for i in ros.mc.array_images[(roller, address)]
+            if not i.startswith("par-")
+        ]
+        if not data_images:
+            continue
+        victim = data_images[pick % len(data_images)]
+        disc_id = ros.dim.record(victim).disc_id
+        tray = ros.mech.rollers[roller].tray_at(address)
+        disc = next(d for d in tray.discs() if d.disc_id == disc_id)
+        track = disc.tracks[0]
+        sector = track.start_sector + rng.integers(0, track.sector_count)
+        SectorErrorModel(DeterministicRNG(0), 0.0).corrupt_exact(
+            disc, [sector]
+        )
+    for roller, address in arrays:
+        ros.run(ros.mi.scrub_array(roller, address))
+    ros.settle()
+    for path, payload in payloads.items():
+        assert ros.read(path).data == payload

@@ -518,3 +518,45 @@ def test_run_serve_rejects_bad_arguments():
         run_serve(1, fleets=[])
     with pytest.raises(ValueError):
         FleetSpec(tenant=TenantSpec("x"), mode="sideways")
+
+
+def test_run_serve_scrub_tenant_keeps_gold_p99_green():
+    """Preservation acceptance: the background scrubber at full budget,
+    admitted through serve QoS, must not push the gold tenant out of its
+    p99 SLO — and the scrubber must actually be admitted."""
+    report = run_serve(42, fleets=default_fleets(), duration_s=15.0,
+                       prepopulate=9, scrub=True)
+    gold = report["tenants"]["gold"]
+    assert gold["slo_met"] is True
+    assert gold["p99_s"] <= gold["slo_p99_s"]
+    scrub = report["scrub"]
+    # The scrubber made progress through the shared controller — either
+    # it was admitted and scrubbed, or QoS (correctly) deferred it.
+    assert scrub["arrays_scrubbed"] + scrub["deferred"] > 0
+    assert scrub["bytes_scrubbed"] > 0 or scrub["deferred"] > 0
+    assert report["admission_audit"]["ok"]
+
+
+def test_run_serve_scrub_report_is_byte_deterministic():
+    reports = [
+        report_to_json(
+            run_serve(5, fleets=_tiny_fleets(), duration_s=6.0,
+                      prepopulate=4, scrub=True)
+        )
+        for _ in range(2)
+    ]
+    assert reports[0] == reports[1]
+
+
+def test_run_serve_scrub_off_report_unchanged():
+    """Adding the scrub feature must not perturb scrub-off runs: the
+    tenant list and RNG draws only change when scrub=True."""
+    baseline = report_to_json(
+        run_serve(5, fleets=_tiny_fleets(), duration_s=6.0, prepopulate=4)
+    )
+    again = report_to_json(
+        run_serve(5, fleets=_tiny_fleets(), duration_s=6.0, prepopulate=4,
+                  scrub=False)
+    )
+    assert baseline == again
+    assert "scrub" not in __import__("json").loads(baseline)
