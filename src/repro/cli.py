@@ -15,6 +15,7 @@ builds what it needs and prints a report:
     chaos        seeded fault-injection campaign with invariant checks
     serve        multi-tenant serving load run with QoS percentile report
     preserve     decades-scale preservation campaign, loss-rate verdict
+    fleet        multi-site fleet campaign: site loss, recovery, I8 audit
     bench        engine events/s + scenario wall-clock, perf-gate check
     profile      cProfile a scenario or microbench, top-N hotspots
 """
@@ -309,6 +310,7 @@ def cmd_chaos(args) -> int:
             monitor=args.monitor,
             flight_out=args.flight_out,
             serve=args.serve,
+            fleet=args.fleet,
         )
         runs.append(report_to_json(report))
     identical = all(run == runs[0] for run in runs[1:])
@@ -520,6 +522,53 @@ def cmd_preserve(args) -> int:
     return 0
 
 
+def cmd_fleet(args) -> int:
+    """Run a fleet campaign (twice, by default) and audit it.
+
+    The same seed must produce a byte-identical report every time; any
+    divergence, invariant violation, or lost byte is a non-zero exit.
+    """
+    import json
+
+    from repro.fleet import render_text, report_to_json, run_fleet
+
+    runs = []
+    for _ in range(max(1, args.runs)):
+        report = run_fleet(
+            args.seed,
+            sites=args.sites,
+            racks_per_site=args.racks_per_site,
+            clients=args.clients,
+            duration_s=args.duration,
+            objects=args.objects,
+            arrival_rate=args.arrival_rate,
+            rack_loss=not args.no_rack_loss,
+            site_loss=not args.no_site_loss,
+        )
+        runs.append(report_to_json(report))
+    identical = all(run == runs[0] for run in runs[1:])
+    report = json.loads(runs[0])
+
+    print(render_text(report))
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(runs[0])
+        print(f"wrote report to {args.out}")
+    if not identical:
+        print("DETERMINISM VIOLATION: reports differ across identical runs")
+        return 1
+    if not report["ok"]:
+        for inv in report["invariants"]:
+            if not inv["ok"]:
+                print(f"FAILED {inv['invariant']}: {inv['detail']}")
+        if report["bytes_lost"]:
+            print(f"BYTES LOST: {report['bytes_lost']}")
+        return 1
+    print(f"all {len(report['invariants'])} invariants hold, "
+          f"0 bytes lost; {len(runs)} runs byte-identical")
+    return 0
+
+
 def cmd_bench(args) -> int:
     """Engine microbenches (events/s) + scenario wall-clock, with a gate."""
     from repro.perf.harness import (
@@ -688,6 +737,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run the campaign under a serving workload and "
                             "audit the fifth invariant (no admitted "
                             "request lost)")
+    chaos.add_argument("--fleet", action="store_true",
+                       help="co-host a multi-site fleet store, add "
+                            "rack/site-loss faults and audit invariant I8 "
+                            "(fleet recoverability)")
     chaos.set_defaults(handler=cmd_chaos)
 
     serve = sub.add_parser(
@@ -737,6 +790,31 @@ def build_parser() -> argparse.ArgumentParser:
     preserve.add_argument("--out", help="write the JSON report here")
     preserve.set_defaults(handler=cmd_preserve)
 
+    fleet = sub.add_parser(
+        "fleet", help="multi-site fleet campaign + recovery + I8 audit"
+    )
+    fleet.add_argument("--seed", type=int, default=7)
+    fleet.add_argument("--sites", type=int, default=3,
+                       help="failure-domain sites (default 3)")
+    fleet.add_argument("--racks-per-site", type=int, default=8,
+                       help="optical racks per site (default 8)")
+    fleet.add_argument("--clients", type=int, default=105_000,
+                       help="pooled open-loop clients across the fleet")
+    fleet.add_argument("--duration", type=float, default=12.0,
+                       help="serving horizon, simulated seconds")
+    fleet.add_argument("--objects", type=int, default=18,
+                       help="erasure-coded images pre-populated")
+    fleet.add_argument("--arrival-rate", type=float, default=60.0,
+                       help="per-site arrival rate, ops/second")
+    fleet.add_argument("--runs", type=int, default=2,
+                       help="identical runs to byte-compare (default 2)")
+    fleet.add_argument("--no-rack-loss", action="store_true",
+                       help="skip the early rack-destruction fault")
+    fleet.add_argument("--no-site-loss", action="store_true",
+                       help="skip the mid-run whole-site destruction")
+    fleet.add_argument("--out", help="write the JSON report here")
+    fleet.set_defaults(handler=cmd_fleet)
+
     bench = sub.add_parser(
         "bench", help="engine events/s + scenario wall-clock, perf gate"
     )
@@ -768,8 +846,8 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument(
         "target",
         help="scenario (cold_read, longevity_slice, chaos_campaign, "
-             "serve) or microbench (delay_chain, ping_pong, spawn_join, "
-             "bandwidth_flows)",
+             "serve, fleet) or microbench (delay_chain, ping_pong, "
+             "spawn_join, bandwidth_flows)",
     )
     profile.add_argument("--top", type=int, default=15,
                          help="number of hotspot rows (default 15)")

@@ -211,3 +211,13 @@ class RackCluster:
             "arrays_used": sum(s["arrays"]["Used"] for s in alive),
             "per_rack": per_rack,
         }
+
+    def health(self) -> dict:
+        """Cheap read-only snapshot (the subsystem ``health()`` protocol
+        the system monitor aggregates — no ``status()``-style deep walk)."""
+        return {
+            "racks": len(self.racks),
+            "racks_up": len(self.racks) - len(self._down),
+            "down": sorted(self._down),
+            "replicas": self.replicas,
+        }

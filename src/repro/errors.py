@@ -131,3 +131,22 @@ class LinkDownError(ServeError):
 
 class SessionDisconnectedError(ServeError):
     """The client session dropped before the operation could be issued."""
+
+
+# ----------------------------------------------------------------------
+# Fleet layer (repro.fleet)
+# ----------------------------------------------------------------------
+class FleetError(ROSError):
+    """Base for failures in the geo-distributed fleet layer."""
+
+
+class RackLostError(FleetError):
+    """The targeted shard rack is down (or destroyed); the shard op failed."""
+
+
+class ShardUnavailableError(FleetError):
+    """The requested shard is not present on the rack that should hold it."""
+
+
+class ObjectUnrecoverableError(FleetError):
+    """Fewer than ``k`` shards of an erasure-coded object survive."""

@@ -3,6 +3,7 @@
 from repro.faults.plan import (
     ALL_KINDS,
     BASE_KINDS,
+    FLEET_KINDS,
     SERVE_KINDS,
     CACHE_LOSS,
     DISC_SECTOR_BURST,
@@ -13,6 +14,8 @@ from repro.faults.plan import (
     OLFS_CRASH,
     PLC_ARM_JAM,
     PLC_CHANNEL,
+    RACK_LOSS,
+    SITE_LOSS,
 )
 from repro.faults.injector import (
     FaultInjector,
@@ -25,6 +28,7 @@ from repro.faults.policy import RetryPolicy
 __all__ = [
     "ALL_KINDS",
     "BASE_KINDS",
+    "FLEET_KINDS",
     "SERVE_KINDS",
     "CACHE_LOSS",
     "DISC_SECTOR_BURST",
@@ -36,6 +40,8 @@ __all__ = [
     "OLFS_CRASH",
     "PLC_ARM_JAM",
     "PLC_CHANNEL",
+    "RACK_LOSS",
+    "SITE_LOSS",
     "RetryPolicy",
     "SITE_DRIVE_BURN",
     "SITE_DRIVE_OP",

@@ -261,6 +261,40 @@ def _repair(ros) -> None:
     ros.settle()
 
 
+def _start_fleet(ros, rng):
+    """Attach a small fleet rig to the campaign (``fleet=True``).
+
+    A 3-site × 2-rack :class:`~repro.fleet.store.FleetStore` (2+2
+    layout, so a whole-site loss costs at most the 2 parity shards)
+    shares the campaign engine; the injector's ``rack.loss`` /
+    ``site.loss`` specs reach it via ``bind_fleet`` and the
+    :class:`~repro.fleet.recovery.RecoveryManager` rebuilds what they
+    destroy while the baseline storm runs.  Returns what the audit
+    phase needs.
+    """
+    from repro.fleet.recovery import RecoveryManager
+    from repro.fleet.store import FleetStore
+    from repro.fleet.topology import FleetTopology, Layout
+
+    store = FleetStore(
+        ros.engine,
+        FleetTopology(sites=3, racks_per_site=2),
+        Layout(k=2, m=2),
+    )
+    ros.fault_injector.bind_fleet(store)
+
+    def populate():
+        for index in range(6):
+            size = 3000 + rng.integers(0, 20000)
+            payload = rng.bytes(min(size, 4096))
+            yield from store.put(f"/fleet/c{index:03d}.img", payload, size)
+
+    ros.engine.run_process(populate(), "chaos-fleet-populate")
+    manager = RecoveryManager(store)
+    ros.engine.spawn(manager.run(), name="chaos-fleet-recovery")
+    return {"store": store, "manager": manager}
+
+
 def run_campaign(
     seed: int,
     ops: int,
@@ -268,6 +302,7 @@ def run_campaign(
     monitor: bool = False,
     flight_out: str | None = None,
     serve: bool = False,
+    fleet: bool = False,
 ) -> dict:
     """One full chaos campaign; returns the (JSON-safe) report dict.
 
@@ -288,15 +323,24 @@ def run_campaign(
     (``serve=False``) run and report stay byte-identical to a build
     without the serving layer — the serve plan specs are drawn after
     every baseline draw and the serve report section is simply absent.
+
+    ``fleet=True`` additionally co-hosts a small multi-site fleet store
+    on the campaign engine: the plan gains ``rack.loss`` and
+    ``site.loss`` (drawn after *every* other spec, so ``fleet=False``
+    plans keep their exact byte sequence), the recovery manager rebuilds
+    destroyed shards mid-storm, and the audit adds invariant I8
+    ("fleet_recoverable").
     """
     horizon = max(600.0, ops * 5.0)
     rng = DeterministicRNG(seed).child("chaos")
     plan = FaultPlan.randomized(
-        rng.child("plan"), horizon, intensity=intensity, serve=serve
+        rng.child("plan"), horizon, intensity=intensity, serve=serve,
+        fleet=fleet,
     )
     ros = build_ros(seed, plan, monitor=monitor)
     injector = ros.fault_injector
 
+    fleet_rig = _start_fleet(ros, rng.child("fleet")) if fleet else None
     serving = _start_serving(ros, rng.child("serve"), ops) if serve else None
 
     acked: dict = {}
@@ -311,6 +355,12 @@ def run_campaign(
     serve_summary = (
         _finish_serving(ros, serving) if serving is not None else None
     )
+    if fleet_rig is not None:
+        # Let in-flight rebuild campaigns finish, then park the manager
+        # so the I2 drain audit sees a quiet engine.
+        ros.settle()
+        fleet_rig["manager"].stop()
+        ros.settle()
     _repair(ros)
 
     # Finish the monitor *before* the invariant audit: I2 demands a fully
@@ -324,6 +374,10 @@ def run_campaign(
         invariants.append(
             check_no_admitted_request_lost(serving["admission"])
         )
+    if fleet_rig is not None:
+        from repro.faults.invariants import check_fleet_recoverable
+
+        invariants.append(check_fleet_recoverable(fleet_rig["store"]))
     ok = not violations and all(inv["ok"] for inv in invariants)
     report = {
         "seed": seed,
@@ -341,6 +395,11 @@ def run_campaign(
     }
     if serve_summary is not None:
         report["serve"] = serve_summary
+    if fleet_rig is not None:
+        report["fleet"] = {
+            "store": fleet_rig["store"].health(),
+            "recovery": fleet_rig["manager"].health(),
+        }
     if monitor_summary is not None:
         report["monitor"] = monitor_summary
         report["flight_recorder"] = {

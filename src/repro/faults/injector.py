@@ -39,6 +39,8 @@ from repro.faults.plan import (
     OLFS_CRASH,
     PLC_ARM_JAM,
     PLC_CHANNEL,
+    RACK_LOSS,
+    SITE_LOSS,
 )
 from repro.sim.engine import Delay, Engine, Interrupt
 from repro.sim.rng import DeterministicRNG
@@ -84,6 +86,8 @@ class FaultInjector:
         self._corrupted_arrays: set = set()
         #: aging clocks accelerated-aging shocks act on (preserve runs)
         self._aging_clocks: list = []
+        #: fleet store rack/site-loss faults act on (fleet campaigns)
+        self._fleet = None
         self._drivers: list = []
         self._active = True
         #: chronological record of everything injected (campaign report)
@@ -101,6 +105,12 @@ class FaultInjector:
         """Attach an :class:`~repro.preserve.aging.AgingClock` so
         ``media.accelerated_aging`` shocks reach its discs."""
         self._aging_clocks.append(clock)
+        return self
+
+    def bind_fleet(self, store) -> "FaultInjector":
+        """Attach a :class:`~repro.fleet.store.FleetStore` so
+        ``rack.loss``/``site.loss`` faults reach its failure domains."""
+        self._fleet = store
         return self
 
     def install(self) -> "FaultInjector":
@@ -205,6 +215,8 @@ class FaultInjector:
             NET_LINK_FLAP: self._apply_link_flap,
             CLIENT_DISCONNECT: self._apply_client_disconnect,
             MEDIA_AGING: self._apply_media_aging,
+            RACK_LOSS: self._apply_rack_loss,
+            SITE_LOSS: self._apply_site_loss,
         }[spec.kind]
         handler(spec)
 
@@ -335,6 +347,62 @@ class FaultInjector:
             years=years,
             sectors=newly_bad,
         )
+
+    def _apply_rack_loss(self, spec: FaultSpec) -> None:
+        # One fleet rack goes away.  destroy=True (the default) loses its
+        # shards and wakes the recovery manager; destroy=False is a plain
+        # outage, restored after ``duration`` seconds when one is given.
+        store = self._fleet
+        if store is None:
+            self._log("skip", spec.kind, spec.target or "-")
+            return
+        destroy = bool(spec.detail.get("destroy", True))
+        target = spec.target
+        if target is None:
+            up = sorted(
+                rack_id
+                for rack_id, rack in store.racks.items()
+                if rack.up
+            )
+            if not up:
+                self._log("skip", spec.kind, "-")
+                return
+            target = self.rng.choice(up)
+        lost = store.fail_rack(target, destroy=destroy)
+        self._log(
+            "apply", spec.kind, target,
+            destroyed=destroy, shards_lost=lost, duration=spec.duration,
+        )
+        if not destroy and spec.duration > 0:
+            self.engine.call_later(
+                spec.duration, lambda: store.restore_rack(target)
+            )
+
+    def _apply_site_loss(self, spec: FaultSpec) -> None:
+        # A whole fleet site (fire/flood): every rack in it at once.
+        store = self._fleet
+        if store is None:
+            self._log("skip", spec.kind, spec.target or "-")
+            return
+        destroy = bool(spec.detail.get("destroy", True))
+        target = spec.target
+        if target is None:
+            sites = sorted(
+                {rack.site for rack in store.racks.values() if rack.up}
+            )
+            if not sites:
+                self._log("skip", spec.kind, "-")
+                return
+            target = self.rng.choice(sites)
+        lost = store.fail_site(target, destroy=destroy)
+        self._log(
+            "apply", spec.kind, target,
+            destroyed=destroy, shards_lost=lost, duration=spec.duration,
+        )
+        if not destroy and spec.duration > 0:
+            self.engine.call_later(
+                spec.duration, lambda: store.restore_site(target)
+            )
 
     def _apply_crash(self, spec: FaultSpec) -> None:
         ros = self._require_ros()

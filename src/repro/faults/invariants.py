@@ -30,6 +30,16 @@ I7. **The audit converges.**  After the final anti-entropy round, every
     divergence — a surviving minority copy must still match the
     majority it was repaired from).
 
+Fleet campaigns (``python -m repro fleet``, ``chaos`` with a bound
+fleet store) add:
+
+I8. **No durable image is unrecoverable while surviving shards ≥ k.**
+    For every acked object in the fleet catalog: if at least ``k`` of
+    its shards physically survive (racks may be down — bytes outlive an
+    outage, not a destruction), the erasure decode of any ``k``
+    survivors reproduces the original bytes exactly.  Objects below
+    ``k`` survivors are *reported* as lost, never silently dropped.
+
 Each check returns ``{"invariant": name, "ok": bool, "detail": {...}}``
 with JSON-safe details, so reports serialize deterministically.
 """
@@ -231,6 +241,49 @@ def check_audit_convergence(cluster, paths) -> dict:
         "audit_converges",
         not problems,
         {"checked": checked, "problems": problems[:10]},
+    )
+
+
+# ----------------------------------------------------------------------
+# I8: fleet recoverability (fleet campaigns)
+# ----------------------------------------------------------------------
+def check_fleet_recoverable(store) -> dict:
+    """I8: every catalog object with ≥ k surviving shards decodes back
+    byte-identically; the rest are counted as lost, not hidden."""
+    problems = []
+    lost = []
+    checked = 0
+    for path in sorted(store.catalog):
+        record = store.catalog[path]
+        if not record.acked:
+            continue
+        checked += 1
+        survivors = store.surviving_shards(path)
+        if len(survivors) < record.k:
+            lost.append(
+                {
+                    "path": path,
+                    "survivors": len(survivors),
+                    "k": record.k,
+                    "bytes": record.size,
+                }
+            )
+            continue
+        try:
+            store.decode_now(path)
+        except ROSError as error:
+            problems.append(
+                {"path": path, "problem": type(error).__name__}
+            )
+    return _result(
+        "fleet_recoverable",
+        not problems,
+        {
+            "checked": checked,
+            "problems": problems[:10],
+            "lost_objects": len(lost),
+            "lost_bytes": sum(entry["bytes"] for entry in lost),
+        },
     )
 
 

@@ -46,6 +46,17 @@ Taxonomy
     drops: its next operation raises
     :class:`~repro.errors.SessionDisconnectedError` and the session stops
     issuing work.
+``rack.loss``
+    One fleet rack goes away (``target`` = rack id, or a seeded pick).
+    By default the rack is *destroyed* — its shards are gone and the
+    :class:`~repro.fleet.recovery.RecoveryManager` must rebuild them on
+    survivors; ``detail={"destroy": False}`` makes it a plain outage
+    (data intact, rack back after ``duration`` seconds).
+``site.loss``
+    An entire fleet site (every rack in it) is lost at once — the
+    LOCKSS fire/flood scenario the per-site placement cap exists for.
+    Same ``destroy``/``duration`` semantics as ``rack.loss``.  Both
+    fleet kinds are logged as skips when no fleet store is bound.
 ``media.accelerated_aging``
     An environmental excursion (heat/humidity epoch) instantly ages every
     burned disc in ONE rack by ``detail["years"]`` simulated years: the
@@ -72,6 +83,8 @@ OLFS_CRASH = "olfs.crash_restart"
 NET_LINK_FLAP = "net.link_flap"
 CLIENT_DISCONNECT = "client.disconnect"
 MEDIA_AGING = "media.accelerated_aging"
+RACK_LOSS = "rack.loss"
+SITE_LOSS = "site.loss"
 
 #: Kinds every randomized plan draws (the storage-side storm).
 BASE_KINDS = (
@@ -97,8 +110,14 @@ PRESERVE_KINDS = (
     MEDIA_AGING,
 )
 
+#: Kinds drawn only for fleet campaigns (``randomized(..., fleet=True)``).
+FLEET_KINDS = (
+    RACK_LOSS,
+    SITE_LOSS,
+)
+
 #: Every fault kind the injector understands.
-ALL_KINDS = BASE_KINDS + SERVE_KINDS + PRESERVE_KINDS
+ALL_KINDS = BASE_KINDS + SERVE_KINDS + PRESERVE_KINDS + FLEET_KINDS
 
 
 @dataclass
@@ -210,6 +229,7 @@ class FaultPlan:
         intensity: float = 1.0,
         serve: bool = False,
         preserve: bool = False,
+        fleet: bool = False,
     ) -> "FaultPlan":
         """A seeded mixed-fault schedule over ``[0, horizon]`` sim seconds.
 
@@ -228,6 +248,12 @@ class FaultPlan:
         fault: one accelerated-aging shock that dumps extra simulated
         years of media decay mid-run.  Its draws follow every baseline
         (and serve) draw, preserving the same byte-identity discipline.
+
+        With ``fleet=True`` the plan adds the fleet failure domains: one
+        destructive rack loss and one destructive site loss.  Their
+        draws come after *every* other draw (base, serve, preserve), so
+        ``fleet=False`` plans — the entire pre-fleet chaos corpus —
+        replay byte-identically forever.
         """
         plan = cls()
         # Transient burn errors: the most common fault in a burning rack.
@@ -290,5 +316,18 @@ class FaultPlan:
                 MEDIA_AGING,
                 at=rng.uniform(max(horizon * 0.3, 0.1), max(horizon * 0.9, 0.2)),
                 detail={"years": round(rng.uniform(1.0, 6.0), 6)},
+            )
+        if fleet:
+            # Fleet failure domains, drawn after everything else so every
+            # fleet=False plan keeps its exact draw sequence.
+            plan.add(
+                RACK_LOSS,
+                at=rng.uniform(max(horizon * 0.15, 0.1),
+                               max(horizon * 0.55, 0.2)),
+            )
+            plan.add(
+                SITE_LOSS,
+                at=rng.uniform(max(horizon * 0.35, 0.1),
+                               max(horizon * 0.8, 0.2)),
             )
         return plan

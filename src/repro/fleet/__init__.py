@@ -1,0 +1,41 @@
+"""Fleet layer: geo-distributed placement, recovery, and serving.
+
+Scales the single-rack ROS design out to tens of racks across multiple
+sites: rendezvous placement of erasure-coded disc images
+(:mod:`repro.fleet.placement` / :mod:`repro.fleet.store`), rack- and
+site-loss recovery campaigns (:mod:`repro.fleet.recovery`), a
+locality-aware serving frontend (:mod:`repro.fleet.frontend`) and the
+seed-deterministic fleet campaign (:mod:`repro.fleet.campaign`).
+"""
+
+from repro.fleet.campaign import render_text, report_to_json, run_fleet
+from repro.fleet.frontend import FleetBackend, FleetFrontend
+from repro.fleet.placement import balance, place, rank_racks
+from repro.fleet.rack import ShardRack
+from repro.fleet.recovery import RecoveryManager
+from repro.fleet.store import (
+    FleetStore,
+    ObjectRecord,
+    decode_object,
+    encode_object,
+)
+from repro.fleet.topology import FleetTopology, Layout
+
+__all__ = [
+    "FleetBackend",
+    "FleetFrontend",
+    "FleetStore",
+    "FleetTopology",
+    "Layout",
+    "ObjectRecord",
+    "RecoveryManager",
+    "ShardRack",
+    "balance",
+    "decode_object",
+    "encode_object",
+    "place",
+    "rank_racks",
+    "render_text",
+    "report_to_json",
+    "run_fleet",
+]

@@ -1,0 +1,320 @@
+"""Fleet campaigns: geo-distributed serving under rack/site loss.
+
+``run_fleet(seed, ...)`` is the fleet-scale experiment in one call:
+build a multi-site :class:`~repro.fleet.store.FleetStore` (tens of
+racks), pre-populate it with erasure-coded disc images, attach one
+10GbE link + one admission tenant per site, and drive 10⁵–10⁶ pooled
+open-loop clients (:class:`~repro.serve.loadgen.ClientPool` aggregate
+mode) through :class:`~repro.fleet.frontend.FleetBackend` adapters
+while the fault injector destroys a rack and then an entire site.
+The :class:`~repro.fleet.recovery.RecoveryManager` rebuilds lost
+shards onto survivors concurrently with client traffic.
+
+The audit asserts invariant I8 ("no durable image unrecoverable while
+surviving shards ≥ k"), admission conservation (I5) and engine drain
+(I2's fleet analogue), and the verdict demands **zero bytes lost** —
+a destroyed site may cost at most ``m`` shards of any object, so every
+acked image must decode back byte-identically.
+
+Everything derives from the one seed; a campaign is a pure function of
+its arguments and its JSON report is byte-reproducible — the CLI
+(``python -m repro fleet``) runs it twice and fails on any diff.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Generator
+
+from repro.faults.injector import FaultInjector
+from repro.faults.invariants import (
+    _result,
+    check_fleet_recoverable,
+    check_no_admitted_request_lost,
+)
+from repro.faults.plan import FaultPlan, RACK_LOSS, SITE_LOSS
+from repro.fleet.frontend import FleetFrontend
+from repro.fleet.placement import balance
+from repro.fleet.recovery import RecoveryManager
+from repro.fleet.store import FleetStore
+from repro.fleet.topology import FleetTopology, Layout
+from repro.serve.loadgen import ClientPool, FleetSpec
+from repro.serve.network import NetworkLink
+from repro.serve.session import LATENCY_BOUNDS, STATUSES, ClientSession
+from repro.serve.tenancy import AdmissionController, TenantSpec
+from repro.sim.engine import AllOf, Engine, Spawn
+from repro.sim.rng import DeterministicRNG
+from repro.sim.tracing import MetricsRegistry
+from repro.workloads.generator import SIZE_PROFILES
+
+#: in-simulation payload cap for pre-populated objects (wire sizes use
+#: the declared logical size — same convention as the serve layer)
+PAYLOAD_CAP = 64 * 1024
+
+
+def _prepopulate(
+    engine: Engine,
+    store: FleetStore,
+    rng: DeterministicRNG,
+    objects: int,
+    profile: str,
+    max_file_bytes: int,
+) -> list[tuple[str, int]]:
+    """Seed the fleet with ``objects`` erasure-coded images; returns the
+    shared read catalog ``[(path, declared_size)]`` the pools draw from."""
+    mean, sigma = SIZE_PROFILES[profile]
+    catalog: list[tuple[str, int]] = []
+
+    def populate() -> Generator:
+        for index in range(objects):
+            size = max(1, int(min(rng.lognormal(mean, sigma),
+                                  max_file_bytes)))
+            payload = rng.bytes(min(size, PAYLOAD_CAP))
+            path = f"/fleet/prepop/f{index:05d}.img"
+            yield from store.put(path, payload, size)
+            catalog.append((path, size))
+
+    engine.run_process(populate(), "fleet-prepopulate")
+    return catalog
+
+
+def _tenant_summary(
+    metrics: MetricsRegistry, admission: AdmissionController
+) -> dict:
+    """Per-site serving outcome summary (deterministic, rounded)."""
+    tenants = {}
+    for name in sorted(admission.tenants):
+        stats = admission.stats[name]
+        histogram = metrics.histogram(
+            f"serve.latency_s.{name}", LATENCY_BOUNDS
+        )
+        counts = {
+            status: int(metrics.counter(f"serve.ops.{name}.{status}").value)
+            for status in STATUSES
+        }
+        tenants[name] = {
+            "ops": sum(counts.values()),
+            "outcomes": counts,
+            "admitted": int(stats["admitted"]),
+            "ok_bytes": round(
+                metrics.counter(f"serve.bytes.{name}").value, 3
+            ),
+            "p50_s": round(histogram.quantile(0.50), 6),
+            "p95_s": round(histogram.quantile(0.95), 6),
+            "p99_s": round(histogram.quantile(0.99), 6),
+        }
+    return tenants
+
+
+def run_fleet(
+    seed: int,
+    sites: int = 3,
+    racks_per_site: int = 8,
+    k: int = 4,
+    m: int = 2,
+    clients: int = 105_000,
+    duration_s: float = 12.0,
+    objects: int = 18,
+    arrival_rate: float = 60.0,
+    profile: str = "iot",
+    max_file_bytes: int = 256 * 1024,
+    rack_loss: bool = True,
+    site_loss: bool = True,
+    detection_delay_s: float = 0.5,
+    read_fraction: float = 0.8,
+    max_inflight: int = 32,
+) -> dict:
+    """One fleet campaign; returns the (JSON-safe) report dict.
+
+    ``clients`` is the whole fleet (split evenly across sites, remainder
+    to site 0); ``arrival_rate`` is *per site* in ops/second.  With the
+    defaults this serves 105 000 pooled clients over 24 racks in 3
+    sites, loses one rack early and one whole site mid-run, and must
+    end with every acked object decodable (I8) and zero bytes lost.
+    """
+    engine = Engine()
+    topology = FleetTopology(sites=sites, racks_per_site=racks_per_site)
+    layout = Layout(k=k, m=m)
+    store = FleetStore(engine, topology, layout)
+    frontend = FleetFrontend(store)
+    rng = DeterministicRNG(seed).child("fleet")
+
+    catalog = _prepopulate(
+        engine, store, rng.child("populate"), objects, profile,
+        max_file_bytes,
+    )
+
+    # -- serving plumbing: one link + one tenant per site ---------------
+    site_names = topology.site_names()
+    links = {site: NetworkLink(engine) for site in site_names}
+    admission = AdmissionController(
+        engine,
+        [TenantSpec(site, weight=1.0) for site in site_names],
+        max_inflight=max_inflight,
+    )
+    metrics = MetricsRegistry()
+
+    per_site = clients // sites
+    fleets = []
+    for index, site in enumerate(site_names):
+        fleet_clients = per_site + (clients - per_site * sites
+                                    if index == 0 else 0)
+        fleets.append(
+            FleetSpec(
+                tenant=TenantSpec(site, weight=1.0),
+                clients=max(1, fleet_clients),
+                mode="open",
+                arrival_rate=arrival_rate,
+                read_fraction=read_fraction,
+                profile=profile,
+                max_file_bytes=max_file_bytes,
+                pooling="aggregate",
+            )
+        )
+
+    # -- fault schedule: a rack early, a whole site mid-run -------------
+    serve_start = engine.now
+    t_end = serve_start + duration_s
+    frng = rng.child("faults")
+    plan = FaultPlan()
+    if rack_loss:
+        plan.add(
+            RACK_LOSS, at=serve_start + duration_s * frng.uniform(0.15, 0.3)
+        )
+    if site_loss:
+        plan.add(
+            SITE_LOSS, at=serve_start + duration_s * frng.uniform(0.5, 0.65)
+        )
+    injector = (
+        FaultInjector(engine, plan, seed=seed).bind_fleet(store).install()
+    )
+    injector.start()
+
+    manager = RecoveryManager(store, detection_delay_s=detection_delay_s)
+    engine.spawn(manager.run(), name="fleet-recovery")
+
+    # -- the client fleets ----------------------------------------------
+    sessions: list[ClientSession] = []
+    serve_rng = rng.child("serve")
+
+    def main() -> Generator:
+        pools = []
+        for index, fleet in enumerate(fleets):
+            site = site_names[index]
+            pool = ClientPool(
+                engine, fleet, serve_rng, links[site], admission,
+                frontend.backend(site), metrics, catalog, t_end,
+            )
+            sessions.extend(pool.sessions)
+            pools.append((yield Spawn(pool.run(), f"pool-{site}")))
+        yield AllOf(pools)
+
+    engine.run_process(main(), "fleet-main")
+    injector.stop()
+    admission.close()
+    engine.run()  # let in-flight recovery campaigns finish
+    manager.stop()
+    engine.run()  # drain the woken manager and the closed dispatcher
+
+    # -- audit -----------------------------------------------------------
+    invariants = [
+        check_fleet_recoverable(store),
+        _result(
+            "engine_drained",
+            engine.is_idle,
+            {"final_time": round(engine.now, 6)},
+        ),
+        check_no_admitted_request_lost(admission),
+    ]
+    lost_bytes = invariants[0]["detail"]["lost_bytes"]
+    counts = balance(
+        [record.placement for record in store.catalog.values()]
+    )
+    ok = all(inv["ok"] for inv in invariants) and lost_bytes == 0
+
+    report = {
+        "seed": seed,
+        "duration_s": round(duration_s, 6),
+        "topology": topology.to_dict(),
+        "layout": layout.to_dict(),
+        "clients": clients,
+        "pooling": "aggregate",
+        "prepopulated": len(catalog),
+        "serve_start": round(serve_start, 6),
+        "final_time": round(engine.now, 6),
+        "plan": [spec.to_dict() for spec in plan],
+        "fault_events": injector.log,
+        "tenants": _tenant_summary(metrics, admission),
+        "links": {
+            site: {
+                "requests": link.requests,
+                "responses": link.responses,
+                "drops": link.drops,
+            }
+            for site, link in sorted(links.items())
+        },
+        "store": store.health(),
+        "recovery": manager.health(),
+        "placement": {
+            "racks_used": len(counts),
+            "shards_min": min(counts.values()) if counts else 0,
+            "shards_max": max(counts.values()) if counts else 0,
+        },
+        "sessions": {
+            session.session_id: dict(sorted(session.outcomes.items()))
+            for session in sorted(sessions, key=lambda s: s.session_id)
+        },
+        "invariants": invariants,
+        "bytes_lost": lost_bytes,
+        "ok": ok,
+    }
+    return report
+
+
+def report_to_json(report: dict) -> str:
+    """Canonical serialization — byte-comparable across identical runs."""
+    return json.dumps(report, sort_keys=True, separators=(",", ":"))
+
+
+def render_text(report: dict) -> str:
+    """Human-readable campaign summary."""
+    topo = report["topology"]
+    layout = report["layout"]
+    lines = [
+        f"fleet report  seed={report['seed']}  "
+        f"{topo['sites']}x{topo['racks_per_site']} racks  "
+        f"layout {layout['k']}+{layout['m']}  "
+        f"clients={report['clients']}",
+        "",
+        f"{'site':<10} {'ops':>7} {'ok':>7} {'failed':>7} "
+        f"{'p50 s':>9} {'p99 s':>9}",
+    ]
+    lines.append("-" * len(lines[-1]))
+    for name, entry in report["tenants"].items():
+        lines.append(
+            f"{name:<10} {entry['ops']:>7} "
+            f"{entry['outcomes']['ok']:>7} "
+            f"{entry['outcomes']['failed']:>7} "
+            f"{entry['p50_s']:>9.4f} {entry['p99_s']:>9.4f}"
+        )
+    store = report["store"]
+    recovery = report["recovery"]
+    lines.append("")
+    lines.append(
+        f"store: {store['racks_up']}/{store['racks']} racks up, "
+        f"{store['objects']} objects, "
+        f"{store['lost_shards']} shards still lost"
+    )
+    lines.append(
+        f"recovery: {recovery['campaigns']} campaigns, "
+        f"{recovery['shards_rebuilt']} shards rebuilt, "
+        f"{recovery['objects_unrecoverable']} objects unrecoverable"
+    )
+    for inv in report["invariants"]:
+        status = "PASS" if inv["ok"] else "FAIL"
+        lines.append(f"invariant {inv['invariant']}: {status}")
+    lines.append(
+        f"bytes lost: {report['bytes_lost']}  "
+        f"verdict: {'OK' if report['ok'] else 'VIOLATION'}"
+    )
+    return "\n".join(lines)

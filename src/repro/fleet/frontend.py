@@ -1,0 +1,72 @@
+"""Fleet-aware serving frontend: locality routing with cross-site failover.
+
+A :class:`FleetBackend` adapts one site's view of the
+:class:`~repro.fleet.store.FleetStore` to the serve layer's backend
+protocol (``execute(op)`` generator), so client pools plug into the
+fleet exactly like they plug into a single rack or a
+:class:`~repro.cluster.RackCluster`:
+
+* **reads** prefer shards in the caller's site and lightly-loaded racks
+  (the store's read ordering), transparently failing over to remote
+  sites — with a WAN round-trip surcharge — when local racks are down;
+* **writes** are erasure-coded across sites by placement, acked only
+  when all ``n`` shards land;
+* **stats** hit the catalog (metadata is replicated fleet-wide).
+
+The :class:`FleetFrontend` holds one backend per site and answers
+fleet-level health, which `repro.obs` rolls into monitor output.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.errors import FleetError
+from repro.fleet.store import FleetStore
+from repro.sim.engine import Delay
+
+#: catalog lookup latency for a stat (metadata is hot, SSD-resident)
+STAT_LATENCY_S = 0.001
+
+
+class FleetBackend:
+    """One site's execution adapter over the shared fleet store."""
+
+    def __init__(self, store: FleetStore, site: str):
+        if site not in store.topology.site_names():
+            raise FleetError(f"unknown site {site}")
+        self.store = store
+        self.site = site
+
+    def execute(self, op) -> Generator:
+        if op.kind == "write":
+            declared = op.logical_size or len(op.data) or None
+            yield from self.store.put(op.path, op.data, declared)
+        elif op.kind == "read":
+            yield from self.store.get(op.path, site=self.site)
+        else:
+            yield Delay(STAT_LATENCY_S)
+            self.store.stat(op.path)
+
+
+class FleetFrontend:
+    """Per-site backends over one store, plus fleet-level health."""
+
+    def __init__(self, store: FleetStore):
+        self.store = store
+        self.backends = {
+            site: FleetBackend(store, site)
+            for site in store.topology.site_names()
+        }
+
+    def backend(self, site: str) -> FleetBackend:
+        try:
+            return self.backends[site]
+        except KeyError:
+            raise FleetError(f"unknown site {site}") from None
+
+    def health(self) -> dict:
+        return {
+            "sites": sorted(self.backends),
+            "store": self.store.health(),
+        }

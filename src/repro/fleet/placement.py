@@ -1,0 +1,86 @@
+"""Rendezvous (HRW) shard placement with failure-domain spreading.
+
+Every (rack, path) pair gets a score from a keyed hash; an object's
+shards go to the top-``n`` racks by score, greedily skipping racks whose
+site already holds ``site_cap`` shards of this object.  Rendezvous
+hashing gives the two properties the property suite pins:
+
+* **determinism + balance** — scores are uniform, so shard counts
+  spread evenly across racks with no central table;
+* **bounded movement** — adding a rack only reassigns the shard slots
+  the new rack wins; everything else keeps its placement (the classic
+  HRW minimal-disruption argument).
+
+Placement is pure: a function of the rack set and the path, no live
+state — the store records the chosen placement per object and the
+recovery manager re-ranks with the same function when it must move a
+shard off a destroyed rack.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Mapping, Optional
+
+from repro.errors import FleetError
+
+
+def rack_score(rack_id: str, path: str) -> int:
+    """Keyed rendezvous score of ``rack_id`` for ``path`` (64-bit)."""
+    digest = hashlib.sha256(f"{rack_id}:{path}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def rank_racks(rack_ids: Iterable[str], path: str) -> list[str]:
+    """Racks by descending rendezvous score (rack id breaks ties)."""
+    return sorted(rack_ids, key=lambda rack: (-rack_score(rack, path), rack))
+
+
+def place(
+    path: str,
+    rack_sites: Mapping[str, str],
+    n: int,
+    site_cap: Optional[int] = None,
+) -> list[str]:
+    """Top-``n`` racks for ``path``, honouring the per-site shard cap.
+
+    ``rack_sites`` maps candidate rack id -> site name.  The result is
+    ordered: shard position ``i`` lives on ``result[i]``.  If the cap
+    makes ``n`` unreachable (too few sites survive), the cap is relaxed
+    for the remaining slots — durability degrades before availability
+    does, and the next recovery pass re-spreads.
+    """
+    ranked = rank_racks(rack_sites, path)
+    if len(ranked) < n:
+        raise FleetError(
+            f"placement needs {n} racks, only {len(ranked)} candidates"
+        )
+    chosen: list[str] = []
+    if site_cap is not None:
+        per_site: dict[str, int] = {}
+        for rack in ranked:
+            site = rack_sites[rack]
+            if per_site.get(site, 0) >= site_cap:
+                continue
+            chosen.append(rack)
+            per_site[site] = per_site.get(site, 0) + 1
+            if len(chosen) == n:
+                return chosen
+        # Cap infeasible on this candidate set: fill remaining slots in
+        # rank order from the racks the cap skipped.
+        for rack in ranked:
+            if rack not in chosen:
+                chosen.append(rack)
+                if len(chosen) == n:
+                    return chosen
+        return chosen
+    return ranked[:n]
+
+
+def balance(placements: Iterable[Iterable[str]]) -> dict[str, int]:
+    """Shard count per rack over many placements (report material)."""
+    counts: dict[str, int] = {}
+    for placement in placements:
+        for rack in placement:
+            counts[rack] = counts.get(rack, 0) + 1
+    return dict(sorted(counts.items()))

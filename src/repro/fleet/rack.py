@@ -1,0 +1,162 @@
+"""Coarse-grained shard racks: the fleet's unit of failure.
+
+A :class:`ShardRack` is the TALICS³-style library model: one ROS rack
+reduced to the contract the fleet layer needs — a keyed shard store
+behind a shared-bandwidth lane and a fixed per-op latency.  The full
+per-drive/per-roller rack (:class:`repro.olfs.filesystem.OLFS`, federated
+by :class:`repro.cluster.RackCluster`) stays the model of record for
+rack-internal behaviour; simulating tens of full racks per campaign
+would drown the event loop in mechanics that don't change fleet-level
+outcomes (placement, recovery traffic, cross-site routing).
+
+Timing model: every shard op pays ``base_latency_s`` (index lookup +
+staging, the inline-accessibility premise of the paper) and then streams
+its wire bytes through the rack's processor-sharing lane, so concurrent
+recovery rebuilds and client reads genuinely slow each other down.
+
+A rack can *fail* (down, data intact — a power event) or be *destroyed*
+(down, shards gone — fire, flood, the LOCKSS threat model).  Restoring a
+destroyed rack models hardware replacement: it comes back empty and the
+recovery manager re-homes shards onto it.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro import units
+from repro.errors import RackLostError, ShardUnavailableError
+from repro.sim.bandwidth import SharedBandwidth
+from repro.sim.engine import Delay, Engine
+
+#: per-shard-op fixed latency (index + staging)
+DEFAULT_BASE_LATENCY_S = 0.004
+#: rack lane capacity (bytes/s) — a rack's aggregate drive throughput
+DEFAULT_LANE_BYTES_S = 400 * units.MB
+#: logical capacity of one rack
+DEFAULT_CAPACITY_BYTES = 1 * units.PB
+
+
+class ShardRack:
+    """One rack of the fleet: a shard store behind a bandwidth lane."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        rack_id: str,
+        site: str,
+        capacity_bytes: float = DEFAULT_CAPACITY_BYTES,
+        lane_bytes_s: float = DEFAULT_LANE_BYTES_S,
+        base_latency_s: float = DEFAULT_BASE_LATENCY_S,
+    ):
+        self.engine = engine
+        self.rack_id = rack_id
+        self.site = site
+        self.capacity_bytes = float(capacity_bytes)
+        self.base_latency_s = float(base_latency_s)
+        self.lane = SharedBandwidth(engine, lane_bytes_s, name=rack_id)
+        #: (path, shard position) -> stored shard payload
+        self.shards: dict[tuple[str, int], bytes] = {}
+        #: (path, shard position) -> logical wire bytes of that shard
+        self._wire: dict[tuple[str, int], float] = {}
+        self.up = True
+        self.destroyed = False
+        #: logical (wire) bytes stored, for capacity accounting
+        self.used_bytes = 0.0
+        self.failures = 0
+        self.destructions = 0
+
+    # -- failure-domain state ------------------------------------------
+    def fail(self, destroy: bool = False) -> int:
+        """Take the rack down; ``destroy`` loses its shards.  Returns the
+        number of shards destroyed (0 for a plain outage)."""
+        self.up = False
+        self.failures += 1
+        lost = 0
+        if destroy:
+            self.destroyed = True
+            self.destructions += 1
+            lost = len(self.shards)
+            self.shards.clear()
+            self._wire.clear()
+            self.used_bytes = 0.0
+        return lost
+
+    def restore(self) -> None:
+        """Bring the rack back up.  A destroyed rack returns *empty*
+        (replacement hardware); a failed one returns with data intact."""
+        self.up = True
+        self.destroyed = False
+
+    # -- shard I/O -----------------------------------------------------
+    def _require_up(self, verb: str, path: str) -> None:
+        if not self.up:
+            raise RackLostError(
+                f"{self.rack_id}: rack down, cannot {verb} {path}"
+            )
+
+    def store(
+        self,
+        path: str,
+        position: int,
+        payload: bytes,
+        wire_bytes: Optional[float] = None,
+    ) -> Generator:
+        """Write one shard (generator).  ``wire_bytes`` is the logical
+        shard size that crosses the lane; the in-simulation ``payload``
+        may be capped smaller (the serve layer's 64 KiB payload cap)."""
+        self._require_up("store", path)
+        wire = float(wire_bytes if wire_bytes is not None else len(payload))
+        yield Delay(self.base_latency_s)
+        if wire > 0:
+            yield from self.lane.transfer(wire)
+        self._require_up("store", path)
+        key = (path, position)
+        previous = self._wire.pop(key, 0.0)
+        self.shards[key] = payload
+        self._wire[key] = wire
+        self.used_bytes += wire - previous
+        return len(payload)
+
+    def fetch(self, path: str, position: int) -> Generator:
+        """Read one shard back (generator); pays latency + lane time."""
+        self._require_up("fetch", path)
+        key = (path, position)
+        if key not in self.shards:
+            raise ShardUnavailableError(
+                f"{self.rack_id}: no shard {position} of {path}"
+            )
+        wire = self._wire.get(key, float(len(self.shards[key])))
+        yield Delay(self.base_latency_s)
+        if wire > 0:
+            yield from self.lane.transfer(wire)
+        self._require_up("fetch", path)
+        return self.shards[key]
+
+    def peek(self, path: str, position: int) -> Optional[bytes]:
+        """Audit-path read: shard bytes if physically present (even on a
+        down-but-intact rack), no simulated time."""
+        return self.shards.get((path, position))
+
+    def has_shard(self, path: str, position: int) -> bool:
+        return (path, position) in self.shards
+
+    def drop(self, path: str, position: int) -> None:
+        """Forget one shard (placement moved it elsewhere)."""
+        key = (path, position)
+        if key in self.shards:
+            del self.shards[key]
+            self.used_bytes -= self._wire.pop(key, 0.0)
+
+    # -- observability -------------------------------------------------
+    def health(self) -> dict:
+        return {
+            "rack": self.rack_id,
+            "site": self.site,
+            "up": self.up,
+            "destroyed": self.destroyed,
+            "shards": len(self.shards),
+            "used_bytes": round(self.used_bytes, 3),
+            "active_flows": self.lane.active_flows,
+            "failures": self.failures,
+        }

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from collections import deque
 from contextlib import contextmanager
-from typing import Iterable, Optional
+from typing import Callable, Iterable, Optional
 
 from repro.obs.recorder import FlightRecorder
 from repro.obs.slo import PAPER_SLOS, SLO, SLOWatchdog
@@ -56,6 +56,8 @@ class SystemMonitor:
             else None
         )
         self._finished = False
+        #: extra subsystems rolled into every snapshot (name -> health fn)
+        self._extra: dict[str, Callable[[], dict]] = {}
         self.sampler = Sampler(
             self.engine,
             period=period,
@@ -109,10 +111,26 @@ class SystemMonitor:
                 if self.recorder is not None:
                     self.recorder.record("slo.violation", **violation)
 
+    def attach_subsystem(
+        self, name: str, health_fn: Callable[[], dict]
+    ) -> "SystemMonitor":
+        """Roll an extra subsystem's ``health()`` into every snapshot.
+
+        Fleet campaigns attach the :class:`~repro.fleet.store.FleetStore`
+        and :class:`~repro.fleet.recovery.RecoveryManager` here so site
+        outages and rebuild progress land on the same timeline as the
+        rack's own health.  Probes must stay read-only, like the
+        monitor's own.
+        """
+        self._extra[name] = health_fn
+        return self
+
     def snapshot(self) -> dict:
         """One aggregated health snapshot, stamped with the clock."""
         snap = {"t": round(self.engine.now, 6)}
         snap.update(self.ros.health())
+        for name in sorted(self._extra):
+            snap[name] = self._extra[name]()
         return snap
 
     # ------------------------------------------------------------------

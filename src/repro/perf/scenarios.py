@@ -16,6 +16,11 @@ Three workloads chosen to exercise different layers of the stack:
     One multi-tenant serving run (``repro serve``): three client fleets
     through the 10GbE link and the admission controller — the scenario
     that stresses the bandwidth sharing and event-wakeup machinery.
+``fleet``
+    One (scaled-down) multi-site fleet campaign (``repro fleet``):
+    erasure-coded placement over 12 racks, aggregate-pooled clients,
+    a site destroyed mid-run and rebuilt by the recovery manager —
+    stresses the pooling refactor and the shard fan-out paths.
 
 Each scenario is a zero-argument callable returning a small stats dict;
 the harness owns the timing, so the same callables feed both
@@ -141,11 +146,34 @@ def scenario_serve(seed: int = 42, duration_s: float = 30.0) -> dict:
     }
 
 
+def scenario_fleet(seed: int = 42, duration_s: float = 10.0) -> dict:
+    from repro.fleet import run_fleet
+
+    report = run_fleet(
+        seed,
+        sites=3,
+        racks_per_site=4,
+        clients=30_000,
+        duration_s=duration_s,
+        objects=12,
+        arrival_rate=40.0,
+    )
+    return {
+        "seed": seed,
+        "ops": sum(t["ops"] for t in report["tenants"].values()),
+        "shards_rebuilt": report["recovery"]["shards_rebuilt"],
+        "bytes_lost": report["bytes_lost"],
+        "invariants_ok": all(i["ok"] for i in report["invariants"]),
+        "sim_seconds": round(report["final_time"], 3),
+    }
+
+
 SCENARIOS: Dict[str, Callable[[], dict]] = {
     "cold_read": scenario_cold_read,
     "longevity_slice": scenario_longevity_slice,
     "chaos_campaign": scenario_chaos_campaign,
     "serve": scenario_serve,
+    "fleet": scenario_fleet,
 }
 
 #: Scenarios that accept ``monitor=True`` to attach a repro.obs run report.

@@ -16,12 +16,28 @@ Two fleet modes (the TALICS³/LOCKSS load-model split):
   wait for completions, so offered load keeps arriving while the rack
   is slow — the regime where admission control earns its keep.
 
+Open-loop fleets run as **arrival pools** (:class:`ClientPool`), not one
+engine process per client:
+
+* ``sessions`` pooling keeps per-virtual-client RNG streams and
+  sessions but merges their next-arrival times in one heap — stream-
+  exact with the historical one-process-per-client path (same draws at
+  the same simulated times, so the same report), at O(1) processes per
+  fleet instead of O(clients);
+* ``aggregate`` pooling exploits Poisson superposition — the merge of
+  ``N`` independent Poisson streams of rate ``λ/N`` is one Poisson
+  stream of rate ``λ`` — to drive a whole fleet from one RNG stream and
+  one pooled session with per-pool histograms.  That is what makes
+  10⁵–10⁶-client fleet campaigns (:mod:`repro.fleet.campaign`) cost
+  O(arrivals), not O(clients).
+
 Everything derives from one seed; ``run_serve`` is a pure function of
 its arguments and its report is byte-reproducible.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Generator, Optional
 
@@ -48,6 +64,9 @@ from repro.workloads.generator import (
 #: in-simulation payload cap (matches the workload generator's default)
 PAYLOAD_CAP = 64 * 1024
 
+#: ``pooling="auto"`` switches to one aggregate stream above this size
+AGGREGATE_POOL_THRESHOLD = 64
+
 
 @dataclass(frozen=True)
 class FleetSpec:
@@ -66,6 +85,12 @@ class FleetSpec:
     #: size profile for writes (see workloads.generator.SIZE_PROFILES)
     profile: str = "mixed"
     max_file_bytes: int = 8 * units.MB
+    #: open-loop arrival pooling: "auto" picks "sessions" (stream-exact
+    #: per-client draws, heap-merged) for small fleets and "aggregate"
+    #: (one superposed Poisson stream, one pooled session) above
+    #: :data:`AGGREGATE_POOL_THRESHOLD` clients; "legacy" forces the
+    #: historical one-process-per-client path (the equivalence oracle)
+    pooling: str = "auto"
 
     def __post_init__(self):
         if self.mode not in ("closed", "open"):
@@ -76,6 +101,17 @@ class FleetSpec:
             raise ValueError("read_fraction must be in [0, 1]")
         if self.profile not in SIZE_PROFILES:
             raise ValueError(f"unknown profile {self.profile!r}")
+        if self.pooling not in ("auto", "sessions", "aggregate", "legacy"):
+            raise ValueError(f"unknown pooling {self.pooling!r}")
+
+    def resolved_pooling(self) -> str:
+        if self.pooling == "auto":
+            return (
+                "aggregate"
+                if self.clients > AGGREGATE_POOL_THRESHOLD
+                else "sessions"
+            )
+        return self.pooling
 
 
 def default_fleets() -> list[FleetSpec]:
@@ -169,6 +205,160 @@ def _next_op(
     return ServeOp(
         "write", path, float(size), data=payload, logical_size=size
     )
+
+
+class ClientPool:
+    """One engine process driving an open-loop fleet's arrivals.
+
+    ``sessions`` mode replays the legacy per-client semantics exactly:
+    each virtual client keeps its own RNG child (same labels as the old
+    per-process path), its own :class:`ClientSession` and its own op
+    counter; the pool merges next-arrival times in a heap and issues
+    each client's next op at the instant its own process would have.
+    Per-client draw order (gap₁, op₁, gap₂, …), the ``t + gap ≥ t_end``
+    stop rule and the disconnect check after each spawned op are all
+    preserved, so reports are byte-identical to the legacy path.
+
+    ``aggregate`` mode drives the whole fleet from one Poisson stream at
+    the fleet's summed arrival rate (superposition) through one pooled
+    session with non-sticky disconnects — a ``client.disconnect`` fault
+    drops one *virtual* client (one recorded ``disconnected`` outcome),
+    not the pool.  Per-pool outcome counts and latency histograms land
+    in the same per-tenant metrics as every other path.
+    """
+
+    #: prune completed op processes once the in-flight list hits this
+    PRUNE_AT = 512
+
+    def __init__(
+        self,
+        engine,
+        fleet: FleetSpec,
+        rng: DeterministicRNG,
+        link: NetworkLink,
+        admission: AdmissionController,
+        backend,
+        metrics: MetricsRegistry,
+        catalog: list[tuple[str, int]],
+        t_end: float,
+        mode: Optional[str] = None,
+    ):
+        if fleet.mode != "open":
+            raise ValueError("ClientPool drives open-loop fleets")
+        self.engine = engine
+        self.fleet = fleet
+        self.catalog = catalog
+        self.t_end = t_end
+        self.mode = mode or fleet.resolved_pooling()
+        if self.mode not in ("sessions", "aggregate"):
+            raise ValueError(f"unknown pool mode {self.mode!r}")
+        self.sessions: list[ClientSession] = []
+        self._clients: list[tuple[ClientSession, DeterministicRNG, list]] = []
+        tenant = fleet.tenant.name
+        if self.mode == "sessions":
+            for index in range(fleet.clients):
+                session_id = f"{tenant}-{index}"
+                session = ClientSession(
+                    engine, session_id, tenant, link, admission, backend,
+                    metrics,
+                )
+                self.sessions.append(session)
+                self._clients.append(
+                    (session, rng.child(f"client-{session_id}"), [0])
+                )
+        else:
+            session = ClientSession(
+                engine, f"{tenant}-pool", tenant, link, admission,
+                backend, metrics, sticky_disconnect=False,
+            )
+            self.sessions.append(session)
+            self._clients.append(
+                (session, rng.child(f"pool-{tenant}"), [0])
+            )
+
+    # ------------------------------------------------------------------
+    def run(self) -> Generator:
+        if self.mode == "sessions":
+            yield from self._run_sessions()
+        else:
+            yield from self._run_aggregate()
+
+    def _one_shot(
+        self, session: ClientSession, op: ServeOp
+    ) -> Generator:
+        try:
+            outcome = yield from session.perform(op)
+        except SessionDisconnectedError:
+            return
+        if op.kind == "write" and outcome.status == "ok":
+            self.catalog.append((op.path, int(op.nbytes)))
+
+    def _spawn_op(
+        self, session: ClientSession, rng: DeterministicRNG, counter: list
+    ) -> Generator:
+        op = _next_op(self.fleet, rng, self.catalog, session.session_id,
+                      counter)
+        child = yield Spawn(
+            self._one_shot(session, op),
+            f"op-{session.session_id}-{counter[0]}",
+        )
+        return child
+
+    def _run_sessions(self) -> Generator:
+        per_client_rate = self.fleet.arrival_rate / self.fleet.clients
+        mean_gap = 1.0 / per_client_rate
+        # Heap entries carry (arrival, index, gap, base): when the entry
+        # was scheduled from the *current* instant (base == now, always
+        # true for the earliest client and for 1-client pools) we delay
+        # by the drawn gap itself — bit-identical arrival times to the
+        # legacy per-process path, not just equal-up-to-rounding.
+        heap: list[tuple[float, int, float, float]] = []
+        for index, (_session, rng, _counter) in enumerate(self._clients):
+            gap = rng.exponential(mean_gap)
+            if self.engine.now + gap < self.t_end:
+                heapq.heappush(
+                    heap, (self.engine.now + gap, index, gap, self.engine.now)
+                )
+        spawned: list = []
+        while heap:
+            when, index, gap, base = heapq.heappop(heap)
+            if base == self.engine.now:
+                yield Delay(gap)
+            elif when > self.engine.now:
+                yield Delay(when - self.engine.now)
+            session, rng, counter = self._clients[index]
+            child = yield from self._spawn_op(session, rng, counter)
+            spawned.append(child)
+            if len(spawned) >= self.PRUNE_AT:
+                spawned = [p for p in spawned if not p.done]
+            if session.disconnected:
+                continue  # this virtual client stops issuing
+            gap = rng.exponential(mean_gap)
+            if self.engine.now + gap >= self.t_end:
+                continue
+            heapq.heappush(
+                heap, (self.engine.now + gap, index, gap, self.engine.now)
+            )
+        pending = [process for process in spawned if not process.done]
+        if pending:
+            yield AllOf(pending)
+
+    def _run_aggregate(self) -> Generator:
+        session, rng, counter = self._clients[0]
+        mean_gap = 1.0 / self.fleet.arrival_rate
+        spawned: list = []
+        while True:
+            gap = rng.exponential(mean_gap)
+            if self.engine.now + gap >= self.t_end:
+                break
+            yield Delay(gap)
+            child = yield from self._spawn_op(session, rng, counter)
+            spawned.append(child)
+            if len(spawned) >= self.PRUNE_AT:
+                spawned = [p for p in spawned if not p.done]
+        pending = [process for process in spawned if not process.done]
+        if pending:
+            yield AllOf(pending)
 
 
 def run_serve(
@@ -376,6 +566,17 @@ def run_serve(
     def main() -> Generator:
         procs = []
         for index, fleet in enumerate(fleets):
+            if fleet.mode == "open" and fleet.resolved_pooling() != "legacy":
+                pool = ClientPool(
+                    engine, fleet, rng, link, admission, backend_obj,
+                    metrics, catalogs[index], t_end,
+                )
+                sessions.extend(pool.sessions)
+                process = yield Spawn(
+                    pool.run(), f"pool-{fleet.tenant.name}"
+                )
+                procs.append(process)
+                continue
             for client in range(fleet.clients):
                 session_id = f"{fleet.tenant.name}-{client}"
                 session = ClientSession(

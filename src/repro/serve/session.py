@@ -128,6 +128,7 @@ class ClientSession:
         admission: AdmissionController,
         backend,
         metrics: MetricsRegistry,
+        sticky_disconnect: bool = True,
     ):
         self.engine = engine
         self.session_id = session_id
@@ -137,6 +138,10 @@ class ClientSession:
         self.backend = backend
         self.metrics = metrics
         self.disconnected = False
+        #: a pooled session aggregates many virtual clients: a
+        #: ``client.disconnect`` then drops ONE virtual client (recorded
+        #: and raised per op) instead of killing the whole pool.
+        self.sticky_disconnect = sticky_disconnect
         self.outcomes: dict[str, int] = {status: 0 for status in STATUSES}
 
     # ------------------------------------------------------------------
@@ -156,7 +161,8 @@ class ClientSession:
             if self.disconnected or self.engine.faults.check(
                 SITE_CLIENT_SESSION, self.session_id
             ):
-                self.disconnected = True
+                if self.sticky_disconnect:
+                    self.disconnected = True
                 self._finish(op, "disconnected", start)
                 raise SessionDisconnectedError(
                     f"session {self.session_id} dropped"

@@ -34,10 +34,125 @@ def _as_array(data: bytes) -> np.ndarray:
 
 
 def _xor_many(chunks: list[np.ndarray]) -> np.ndarray:
-    result = np.zeros(CHUNK_SIZE, dtype=np.uint8)
+    length = len(chunks[0]) if chunks else CHUNK_SIZE
+    result = np.zeros(length, dtype=np.uint8)
     for chunk in chunks:
         result ^= chunk
     return result
+
+
+# ----------------------------------------------------------------------
+# Pure erasure coding over equal-length shards
+#
+# The same P/Q math the RAID-6 array applies per stripe, exposed as
+# module-level functions over arbitrary equal-length byte arrays so other
+# layers (fleet placement of disc-image shards) can reuse it without a
+# device stack.  Shard positions: ``0..k-1`` are data, ``k`` is P (XOR),
+# ``k+1`` is Q (GF(256) Reed-Solomon).
+# ----------------------------------------------------------------------
+def _q_shard(data: list[np.ndarray]) -> np.ndarray:
+    from repro.storage.gf256 import gf_mul_bytes
+
+    q = np.zeros(len(data[0]), dtype=np.uint8)
+    for position, chunk in enumerate(data):
+        q ^= gf_mul_bytes(chunk, generator_coefficient(position))
+    return q
+
+
+def erasure_parity(
+    data: list[np.ndarray], parity_count: int = 2
+) -> list[np.ndarray]:
+    """Parity shards for ``data``: ``[P]`` or ``[P, Q]``.
+
+    All data shards must be equal-length uint8 arrays (any length, not
+    just :data:`CHUNK_SIZE`).
+    """
+    if parity_count not in (1, 2):
+        raise StorageError(f"parity_count must be 1 or 2, got {parity_count}")
+    if not data:
+        raise StorageError("erasure_parity needs at least one data shard")
+    length = len(data[0])
+    if any(len(chunk) != length for chunk in data):
+        raise StorageError("erasure shards must be equal length")
+    parity = [_xor_many(data)]
+    if parity_count == 2:
+        parity.append(_q_shard(data))
+    return parity
+
+
+def _solve_one_with_q(
+    k: int, known: dict[int, np.ndarray], q: np.ndarray
+) -> np.ndarray:
+    """Recover the single missing data shard of ``k`` from Q parity."""
+    from repro.storage.gf256 import gf_mul_bytes
+
+    missing = (set(range(k)) - set(known)).pop()
+    partial = q.copy()
+    for position, chunk in known.items():
+        partial ^= gf_mul_bytes(chunk, generator_coefficient(position))
+    return gf_mul_bytes(partial, gf_div(1, generator_coefficient(missing)))
+
+
+def _solve_two_missing(
+    known: dict[int, np.ndarray],
+    p: np.ndarray,
+    q: np.ndarray,
+    a: int,
+    b: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Recover two missing data shards from P and Q (standard RAID-6).
+
+    With g_a, g_b the generator coefficients:
+        D_a ^ D_b                    = P'   (P minus known data)
+        g_a*D_a ^ g_b*D_b            = Q'   (Q minus known data)
+    =>  D_a = (Q' ^ g_b*P') / (g_a ^ g_b),  D_b = P' ^ D_a
+    """
+    from repro.storage.gf256 import gf_mul_bytes
+
+    p_prime = p.copy()
+    q_prime = q.copy()
+    for position, chunk in known.items():
+        p_prime ^= chunk
+        q_prime ^= gf_mul_bytes(chunk, generator_coefficient(position))
+    g_a = generator_coefficient(a)
+    g_b = generator_coefficient(b)
+    numerator = q_prime ^ gf_mul_bytes(p_prime, g_b)
+    d_a = gf_mul_bytes(numerator, gf_div(1, g_a ^ g_b))
+    d_b = p_prime ^ d_a
+    return d_a, d_b
+
+
+def erasure_decode(
+    k: int, shards: dict[int, np.ndarray]
+) -> list[np.ndarray]:
+    """Recover all ``k`` data shards from any sufficient shard subset.
+
+    ``shards`` maps position -> array, positions ``0..k-1`` data, ``k``
+    P, ``k+1`` Q.  Decodes with up to two missing data shards (one needs
+    P or Q; two need both).  Raises :class:`RaidDegradedError` when the
+    survivors cannot express the data.
+    """
+    known = {i: shards[i] for i in shards if 0 <= i < k}
+    missing = sorted(set(range(k)) - set(known))
+    have_p = k in shards
+    have_q = k + 1 in shards
+    if not missing:
+        pass
+    elif len(missing) == 1 and have_p:
+        known[missing[0]] = _xor_many(list(known.values()) + [shards[k]])
+    elif len(missing) == 1 and have_q:
+        known[missing[0]] = _solve_one_with_q(k, known, shards[k + 1])
+    elif len(missing) == 2 and have_p and have_q:
+        a, b = missing
+        known[a], known[b] = _solve_two_missing(
+            known, shards[k], shards[k + 1], a, b
+        )
+    else:
+        raise RaidDegradedError(
+            f"erasure_decode: {len(missing)} data shards missing with "
+            f"P={'yes' if have_p else 'no'} Q={'yes' if have_q else 'no'}"
+        )
+    return [known[i] for i in range(k)]
 
 
 class RAIDArray:
@@ -295,12 +410,7 @@ class RAID6(RAIDArray):
 
     @staticmethod
     def _q_parity(arrays: list[np.ndarray]) -> np.ndarray:
-        from repro.storage.gf256 import gf_mul_bytes
-
-        q = np.zeros(CHUNK_SIZE, dtype=np.uint8)
-        for position, chunk in enumerate(arrays):
-            q ^= gf_mul_bytes(chunk, generator_coefficient(position))
-        return q
+        return _q_shard(arrays)
 
     def _read_survivors(self, stripe: int, skip: set[int]) -> Generator:
         chunks: dict[int, np.ndarray] = {}
@@ -361,16 +471,7 @@ class RAID6(RAIDArray):
         self, known: dict[int, np.ndarray], q: np.ndarray
     ) -> np.ndarray:
         """Recover the single missing data chunk from Q parity."""
-        from repro.storage.gf256 import gf_mul_bytes
-
-        positions = set(range(self.data_per_stripe))
-        missing = (positions - set(known)).pop()
-        partial = q.copy()
-        for position, chunk in known.items():
-            partial ^= gf_mul_bytes(chunk, generator_coefficient(position))
-        coefficient = generator_coefficient(missing)
-        inverse = gf_div(1, coefficient)
-        return gf_mul_bytes(partial, inverse)
+        return _solve_one_with_q(self.data_per_stripe, known, q)
 
     def _solve_two(
         self,
@@ -380,27 +481,8 @@ class RAID6(RAIDArray):
         a: int,
         b: int,
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Recover two missing data chunks from P and Q (standard RAID-6).
-
-        With g_a, g_b the generator coefficients:
-            D_a ^ D_b                    = P'   (P minus known data)
-            g_a*D_a ^ g_b*D_b            = Q'   (Q minus known data)
-        =>  D_a = (Q' ^ g_b*P') / (g_a ^ g_b),  D_b = P' ^ D_a
-        """
-        from repro.storage.gf256 import gf_mul_bytes
-
-        p_prime = p.copy()
-        q_prime = q.copy()
-        for position, chunk in known.items():
-            p_prime ^= chunk
-            q_prime ^= gf_mul_bytes(chunk, generator_coefficient(position))
-        g_a = generator_coefficient(a)
-        g_b = generator_coefficient(b)
-        denominator = g_a ^ g_b
-        numerator = q_prime ^ gf_mul_bytes(p_prime, g_b)
-        d_a = gf_mul_bytes(numerator, gf_div(1, denominator))
-        d_b = p_prime ^ d_a
-        return d_a, d_b
+        """Recover two missing data chunks from P and Q (standard RAID-6)."""
+        return _solve_two_missing(known, p, q, a, b)
 
     def _rebuild_member_chunk(self, stripe, device_index) -> Generator:
         """Erasure-solve one member chunk; other failed members are

@@ -102,3 +102,48 @@ def test_corpus_preserve_campaign_replay_and_convergence(seed):
     )
     assert audit["ok"], audit
     assert reports[0]["ok"]
+
+
+# ----------------------------------------------------------------------
+# Fleet campaigns join the corpus (rack/site loss + invariant 8)
+# ----------------------------------------------------------------------
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    horizon=st.floats(min_value=100.0, max_value=1e6),
+)
+@settings(max_examples=25, deadline=None)
+def test_fleet_plan_adds_losses_after_every_other_draw(seed, horizon):
+    """``fleet=True`` appends rack loss then site loss after *every*
+    other draw (base, serve, preserve), so the whole pre-fleet chaos
+    corpus replays byte-identically forever."""
+    from repro.faults.plan import RACK_LOSS, SITE_LOSS
+
+    rng = lambda: DeterministicRNG(seed).child("plan")  # noqa: E731
+    base = FaultPlan.randomized(rng(), horizon, serve=True, preserve=True)
+    fleet = FaultPlan.randomized(
+        rng(), horizon, serve=True, preserve=True, fleet=True
+    )
+    assert [s.to_dict() for s in fleet][: len(base)] == [
+        s.to_dict() for s in base
+    ]
+    assert [s.kind for s in fleet.specs[-2:]] == [RACK_LOSS, SITE_LOSS]
+
+
+@pytest.mark.parametrize("seed", CORPUS_SEEDS)
+def test_corpus_fleet_campaign_replay_and_recoverability(seed):
+    """Fleet chaos is corpus material: the co-hosted multi-site store
+    rides the same seeded campaign, replays byte-identically, and every
+    invariant — I1..I7 plus I8 (fleet recoverability) — holds."""
+    reports = [run_campaign(seed, ops=30, fleet=True) for _ in range(2)]
+    assert report_to_json(reports[0]) == report_to_json(reports[1])
+    report = reports[0]
+    names = [inv["invariant"] for inv in report["invariants"]]
+    assert "fleet_recoverable" in names
+    failed = [inv for inv in report["invariants"] if not inv["ok"]]
+    assert not failed, failed
+    assert report["ok"]
+    kinds = [spec["kind"] for spec in report["plan"]]
+    assert kinds[-2:] == ["rack.loss", "site.loss"]
+    fleet = report["fleet"]
+    assert fleet["store"]["objects_unrecoverable"] == 0
+    assert fleet["recovery"]["bytes_lost"] == 0.0

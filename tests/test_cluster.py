@@ -214,3 +214,52 @@ def test_cluster_read_process_fails_over():
 
     result = cluster.engine.run_process(proc())
     assert result.data == b"generator"
+
+
+def test_cluster_all_holders_down_reraises_the_last_error():
+    """With several holders all failing, the error surfaced is the LAST
+    holder's — the freshest evidence of why the read is impossible — not
+    the first, and not a generic RackDownError."""
+    from repro.errors import DriveError, TimeoutOLFSError
+
+    cluster = make_cluster(rack_count=3, replicas=1)
+    cluster.write("/ha/multi.bin", b"x")
+    first, second = cluster.placement("/ha/multi.bin")
+
+    def fail_with(error):
+        def broken_read(path, version=None):
+            raise error(f"{path}: injected")
+        return broken_read
+
+    cluster.racks[first].read = fail_with(TimeoutOLFSError)
+    cluster.racks[second].read = fail_with(DriveError)
+    with pytest.raises(DriveError):
+        cluster.read("/ha/multi.bin")
+    # Swap the failure order: the surfaced type follows the last holder.
+    cluster.racks[first].read = fail_with(DriveError)
+    cluster.racks[second].read = fail_with(TimeoutOLFSError)
+    with pytest.raises(TimeoutOLFSError):
+        cluster.read("/ha/multi.bin")
+
+
+def test_cluster_read_process_reraises_last_error():
+    """The generator form (the serve path) has the same last-error
+    contract as the synchronous facade."""
+    from repro.errors import TimeoutOLFSError
+
+    cluster = make_cluster(rack_count=2, replicas=0)
+    cluster.write("/ha/gen-err.bin", b"x")
+    home = cluster.home_rack("/ha/gen-err.bin")
+
+    def broken_read(path):
+        raise TimeoutOLFSError("injected")
+        yield  # pragma: no cover - makes this a generator
+
+    cluster.racks[home].pi.read_file = broken_read
+
+    def proc():
+        result = yield from cluster.read_process("/ha/gen-err.bin")
+        return result
+
+    with pytest.raises(TimeoutOLFSError):
+        cluster.engine.run_process(proc())

@@ -560,3 +560,148 @@ def test_run_serve_scrub_off_report_unchanged():
     )
     assert baseline == again
     assert "scrub" not in __import__("json").loads(baseline)
+
+
+# ----------------------------------------------------------------------
+# Open-loop arrival pooling (the fleet-scale loadgen path)
+# ----------------------------------------------------------------------
+def _open_fleet(clients, pooling, arrival_rate=24.0):
+    return [
+        FleetSpec(
+            tenant=TenantSpec("iot", weight=1.0),
+            clients=clients,
+            mode="open",
+            arrival_rate=arrival_rate,
+            read_fraction=0.6,
+            profile="iot",
+            max_file_bytes=64 * 1024,
+            pooling=pooling,
+        )
+    ]
+
+
+def _bucket_index(value):
+    """Index of ``value`` on the latency-histogram grid."""
+    for index, bound in enumerate(LATENCY_BOUNDS):
+        if value <= bound:
+            return index
+    return len(LATENCY_BOUNDS)
+
+
+def test_pooling_auto_threshold():
+    from repro.serve.loadgen import AGGREGATE_POOL_THRESHOLD
+
+    at = _open_fleet(AGGREGATE_POOL_THRESHOLD, "auto")[0]
+    above = _open_fleet(AGGREGATE_POOL_THRESHOLD + 1, "auto")[0]
+    assert at.resolved_pooling() == "sessions"
+    assert above.resolved_pooling() == "aggregate"
+    assert _open_fleet(2, "legacy")[0].resolved_pooling() == "legacy"
+
+
+def test_pool_sessions_mode_matches_legacy_byte_for_byte():
+    """The heap-merged sessions pool preserves per-client draw order, so
+    its report — metrics, audit, per-session outcomes — is byte-identical
+    to the historical one-process-per-client path."""
+    kwargs = dict(duration_s=6.0, prepopulate=4)
+    legacy = run_serve(13, fleets=_open_fleet(6, "legacy"), **kwargs)
+    pooled = run_serve(13, fleets=_open_fleet(6, "sessions"), **kwargs)
+    assert report_to_json(legacy) == report_to_json(pooled)
+
+
+def test_pool_aggregate_mode_is_statistically_equivalent():
+    """One superposed Poisson stream at the fleet rate must look like
+    the per-client fleet: every op lands in a terminal bucket, totals
+    agree to sampling noise, and the latency percentiles sit within one
+    histogram bucket of the legacy path on the same seed."""
+    kwargs = dict(duration_s=8.0, prepopulate=4)
+    legacy = run_serve(17, fleets=_open_fleet(96, "legacy"), **kwargs)
+    pooled = run_serve(17, fleets=_open_fleet(96, "aggregate"), **kwargs)
+    for report in (legacy, pooled):
+        assert report["admission_audit"]["ok"], report["admission_audit"]
+        entry = report["tenants"]["iot"]
+        assert entry["ops"] == sum(entry["outcomes"].values())
+    lt, pt = legacy["tenants"]["iot"], pooled["tenants"]["iot"]
+    assert lt["ops"] > 50
+    assert abs(pt["ops"] - lt["ops"]) / lt["ops"] < 0.25
+    for quantile in ("p50_s", "p95_s", "p99_s"):
+        assert abs(
+            _bucket_index(pt[quantile]) - _bucket_index(lt[quantile])
+        ) <= 1, (quantile, lt[quantile], pt[quantile])
+
+
+def test_pool_aggregate_report_is_byte_deterministic():
+    kwargs = dict(duration_s=6.0, prepopulate=4)
+    reports = [
+        report_to_json(
+            run_serve(19, fleets=_open_fleet(128, "aggregate"), **kwargs)
+        )
+        for _ in range(2)
+    ]
+    assert reports[0] == reports[1]
+
+
+# ----------------------------------------------------------------------
+# Failover under live faults never double-counts admitted work
+# ----------------------------------------------------------------------
+def test_failover_read_is_one_admitted_request():
+    """Hard-fail every drive under the home rack mid-run: the cluster
+    backend fails the read over to the replica *inside* one admitted
+    grant, so the admission audit sees exactly one ticket per op — a
+    failover must never re-enter the controller."""
+    from repro.cluster import RackCluster
+    from repro.faults import DRIVE_HARD
+    from repro.serve import ClusterBackend
+
+    config = OLFSConfig(
+        data_discs_per_array=3, parity_discs_per_array=1
+    ).scaled_for_tests(bucket_capacity=64 * 1024)
+    cluster = RackCluster(
+        rack_count=2, replicas=1, config=config,
+        roller_count=1, buffer_volume_capacity=200 * units.MB,
+    )
+    payload = b"fault-tolerant" * 500
+    cluster.write("/ha/asset.bin", payload)
+    cluster.flush()
+    home = cluster.home_rack("/ha/asset.bin")
+    injector = (
+        FaultInjector(cluster.engine, FaultPlan(), seed=1)
+        .bind(cluster.racks[home])
+        .install()
+    )
+    image_id = cluster.racks[home].stat("/ha/asset.bin")["locations"][0]
+    cluster.racks[home].cache.evict(image_id)
+    for drive_set in cluster.racks[home].mech.drive_sets:
+        for drive in drive_set.drives:
+            injector.inject(
+                DRIVE_HARD, target=drive.drive_id, duration=3600.0
+            )
+    link = NetworkLink(cluster.engine)
+    admission = AdmissionController(
+        cluster.engine, [TenantSpec("t")], max_inflight=4
+    )
+    metrics = MetricsRegistry()
+    session = ClientSession(
+        cluster.engine, "t-0", "t", link, admission,
+        ClusterBackend(cluster), metrics,
+    )
+
+    def proc():
+        outcome = yield from session.perform(
+            ServeOp("read", "/ha/asset.bin", float(len(payload)))
+        )
+        return outcome
+
+    outcome = cluster.engine.run_process(proc(), "failover-read")
+    injector.stop()
+    admission.close()
+    cluster.engine.run()
+    assert outcome.status == "ok"
+    stats = admission.stats["t"]
+    assert int(stats["submitted"]) == 1
+    assert int(stats["admitted"]) == 1
+    assert int(stats["released"]) == 1
+    ok, detail = admission.audit()
+    assert ok, detail
+    assert session.outcomes["ok"] == 1
+    histogram = metrics.histogram("serve.latency_s.t", LATENCY_BOUNDS)
+    assert histogram.count == 1  # one op observed once, despite failover
