@@ -380,6 +380,8 @@ def cmd_serve(args) -> int:
 
     from repro.serve import render_text, report_to_json, run_serve
 
+    if args.xl:
+        return _cmd_serve_xl(args)
     runs = []
     for _ in range(max(1, args.runs)):
         report = run_serve(
@@ -415,6 +417,55 @@ def cmd_serve(args) -> int:
     ]
     if missed:
         print(f"SLO MISSED by: {', '.join(missed)}")
+        return 1
+    return 0
+
+
+def _cmd_serve_xl(args) -> int:
+    """Run the sharded XL campaign; byte-compare runs *and* layouts.
+
+    With ``--shards N > 1`` the same campaign is re-run single-shard and
+    the canonical reports must match byte for byte — the sharded event
+    loop's determinism contract, checked from the operator console.
+    """
+    import json
+
+    from repro.serve.xl import report_to_json, run_serve_xl
+
+    def one(shards: int) -> str:
+        return report_to_json(run_serve_xl(
+            args.seed, racks=args.racks, shards=shards,
+            duration_s=args.duration,
+        ))
+
+    runs = [one(args.shards) for _ in range(max(1, args.runs))]
+    identical = all(run == runs[0] for run in runs[1:])
+    layout_ok = True
+    if args.shards > 1:
+        layout_ok = one(1) == runs[0]
+    report = json.loads(runs[0])
+    totals = report["totals"]
+    print(f"serve-xl: seed={args.seed} racks={args.racks} "
+          f"shards={args.shards} duration={args.duration:.0f}s")
+    print(f"  ops={totals['ops']} ok={totals['ok']} "
+          f"failed={totals['failed']} remote={totals['remote']} "
+          f"events={report['events_issued']}")
+    outages = [name for name, entry in report["racks"].items()
+               if entry["outage"]]
+    print(f"  outages: {', '.join(outages) if outages else 'none'}")
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(runs[0])
+        print(f"wrote report to {args.out}")
+    if not identical:
+        print("DETERMINISM VIOLATION: reports differ across identical runs")
+        return 1
+    if not layout_ok:
+        print(f"SHARD-LAYOUT VIOLATION: shards={args.shards} report "
+              f"differs from the single-shard report")
+        return 1
+    if not totals["ops"]:
+        print("EMPTY RUN: no operations were issued")
         return 1
     return 0
 
@@ -761,6 +812,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "link flaps and client disconnects)")
     serve.add_argument("--max-inflight", type=int, default=8,
                        help="admission controller inflight cap")
+    serve.add_argument("--xl", action="store_true",
+                       help="run the sharded XL campaign (repro.serve.xl) "
+                            "instead of the single-rack QoS harness")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="event-loop shards for --xl; >1 also "
+                            "byte-compares against the single-shard report")
+    serve.add_argument("--racks", type=int, default=8,
+                       help="rack count for --xl (default 8)")
     serve.add_argument("--out", help="write the JSON report here")
     serve.set_defaults(handler=cmd_serve)
 
@@ -818,8 +877,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser(
         "bench", help="engine events/s + scenario wall-clock, perf gate"
     )
-    bench.add_argument("--repeats", type=int, default=3,
-                       help="runs per microbench; best is kept (default 3)")
+    bench.add_argument("--repeats", "--repeat", type=int, default=3,
+                       help="runs per microbench; best is kept (default 3) "
+                            "— best-of-N is the noise defence, see "
+                            "docs/performance.md")
     bench.add_argument("--scale", type=float, default=1.0,
                        help="multiplier on microbench event counts")
     bench.add_argument("--label", default="",
@@ -846,8 +907,8 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument(
         "target",
         help="scenario (cold_read, longevity_slice, chaos_campaign, "
-             "serve, fleet) or microbench (delay_chain, ping_pong, "
-             "spawn_join, bandwidth_flows)",
+             "serve, fleet, serve_xl) or microbench (delay_chain, "
+             "ping_pong, spawn_join, bandwidth_flows)",
     )
     profile.add_argument("--top", type=int, default=15,
                          help="number of hotspot rows (default 15)")

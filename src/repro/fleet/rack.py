@@ -118,6 +118,26 @@ class ShardRack:
         self.used_bytes += wire - previous
         return len(payload)
 
+    def preload(
+        self,
+        path: str,
+        position: int,
+        payload: bytes,
+        wire_bytes: Optional[float] = None,
+    ) -> None:
+        """Zero-time bootstrap write: place a shard without simulated I/O.
+
+        Campaign setup uses this to pre-populate racks at ``t=0`` so the
+        measured timeline starts with serving traffic, not a bulk-load
+        prologue.  The shard is indistinguishable from one written by
+        :meth:`store`."""
+        wire = float(wire_bytes if wire_bytes is not None else len(payload))
+        key = (path, position)
+        previous = self._wire.pop(key, 0.0)
+        self.shards[key] = payload
+        self._wire[key] = wire
+        self.used_bytes += wire - previous
+
     def fetch(self, path: str, position: int) -> Generator:
         """Read one shard back (generator); pays latency + lane time."""
         self._require_up("fetch", path)

@@ -21,6 +21,7 @@ reports, and the serving layer draws no randomness unless enabled.
 """
 
 from repro.serve.loadgen import FleetSpec, default_fleets, run_serve
+from repro.serve.xl import run_serve_xl
 from repro.serve.network import NetworkLink
 from repro.serve.report import render_text, report_to_json
 from repro.serve.session import ClientSession, ClusterBackend, OLFSBackend, ServeOp
@@ -40,4 +41,5 @@ __all__ = [
     "render_text",
     "report_to_json",
     "run_serve",
+    "run_serve_xl",
 ]

@@ -38,6 +38,7 @@ its arguments and its report is byte-reproducible.
 from __future__ import annotations
 
 import heapq
+import os
 from dataclasses import dataclass
 from typing import Generator, Optional
 
@@ -66,6 +67,18 @@ PAYLOAD_CAP = 64 * 1024
 
 #: ``pooling="auto"`` switches to one aggregate stream above this size
 AGGREGATE_POOL_THRESHOLD = 64
+
+
+def _scalar_loadgen() -> bool:
+    """True when ``REPRO_SCALAR_LOADGEN=1`` forces the scalar reference path.
+
+    The vectorized aggregate pool batch-draws its arrival gaps and op-mix
+    rolls; because batch and sequential draws read the *same* numpy
+    stream, the scalar path consumes identical values and produces a
+    byte-identical report — this hatch exists so the equivalence stays
+    independently checkable (and bisectable) forever.
+    """
+    return os.environ.get("REPRO_SCALAR_LOADGEN", "") not in ("", "0")
 
 
 @dataclass(frozen=True)
@@ -190,7 +203,27 @@ def _next_op(
     session_id: str,
     counter: list[int],
 ) -> ServeOp:
-    roll = rng.uniform()
+    return _op_from_roll(
+        fleet, rng.uniform(), rng, catalog, session_id, counter
+    )
+
+
+def _op_from_roll(
+    fleet: FleetSpec,
+    roll: float,
+    rng: DeterministicRNG,
+    catalog: list[tuple[str, int]],
+    session_id: str,
+    counter: list[int],
+) -> ServeOp:
+    """Materialize one op given a pre-drawn kind roll.
+
+    The roll decides read/stat/write; per-op details (catalog index,
+    write size, payload) still come from ``rng``.  Splitting the roll out
+    lets the vectorized pool batch-draw rolls from a dedicated sub-stream
+    while detail draws stay scalar — without desynchronizing the streams
+    between the batch and scalar paths.
+    """
     if catalog and roll < fleet.read_fraction:
         path, declared = catalog[rng.integers(0, len(catalog))]
         return ServeOp("read", path, float(declared))
@@ -225,10 +258,24 @@ class ClientPool:
     drops one *virtual* client (one recorded ``disconnected`` outcome),
     not the pool.  Per-pool outcome counts and latency histograms land
     in the same per-tenant metrics as every other path.
+
+    Aggregate arrivals are *vectorized*: inter-arrival gaps and op-kind
+    rolls are batch-drawn ``EPOCH`` at a time from dedicated sub-streams
+    (``pool-<tenant>`` → ``gaps`` / ``rolls`` / ``ops``), so a
+    million-arrival fleet pays O(epochs) of RNG dispatch instead of two
+    Python RNG calls per event.  Arrival *times* are still accumulated by
+    the engine one ``Delay`` at a time (cumsum would round differently),
+    and a batch's unused tail is simply discarded at the horizon.
+    ``REPRO_SCALAR_LOADGEN=1`` switches to a draw-per-event reference
+    loop over the same sub-streams; reports are byte-identical either
+    way (hypothesis-pinned).
     """
 
     #: prune completed op processes once the in-flight list hits this
     PRUNE_AT = 512
+
+    #: arrivals batch-drawn per epoch in vectorized aggregate mode
+    EPOCH = 1024
 
     def __init__(
         self,
@@ -272,9 +319,10 @@ class ClientPool:
                 backend, metrics, sticky_disconnect=False,
             )
             self.sessions.append(session)
-            self._clients.append(
-                (session, rng.child(f"pool-{tenant}"), [0])
-            )
+            pool_rng = rng.child(f"pool-{tenant}")
+            self._gap_rng = pool_rng.child("gaps")
+            self._roll_rng = pool_rng.child("rolls")
+            self._clients.append((session, pool_rng.child("ops"), [0]))
 
     # ------------------------------------------------------------------
     def run(self) -> Generator:
@@ -343,19 +391,60 @@ class ClientPool:
         if pending:
             yield AllOf(pending)
 
+    def _spawn_roll(
+        self,
+        session: ClientSession,
+        roll: float,
+        rng: DeterministicRNG,
+        counter: list,
+    ) -> Generator:
+        op = _op_from_roll(self.fleet, roll, rng, self.catalog,
+                           session.session_id, counter)
+        child = yield Spawn(
+            self._one_shot(session, op),
+            f"op-{session.session_id}-{counter[0]}",
+        )
+        return child
+
     def _run_aggregate(self) -> Generator:
-        session, rng, counter = self._clients[0]
+        session, op_rng, counter = self._clients[0]
         mean_gap = 1.0 / self.fleet.arrival_rate
+        engine = self.engine
+        t_end = self.t_end
         spawned: list = []
-        while True:
-            gap = rng.exponential(mean_gap)
-            if self.engine.now + gap >= self.t_end:
-                break
-            yield Delay(gap)
-            child = yield from self._spawn_op(session, rng, counter)
-            spawned.append(child)
-            if len(spawned) >= self.PRUNE_AT:
-                spawned = [p for p in spawned if not p.done]
+        if _scalar_loadgen():
+            # Reference path: one scalar draw per event off the same
+            # sub-streams the vectorized loop batch-reads.
+            while True:
+                gap = self._gap_rng.exponential(mean_gap)
+                if engine.now + gap >= t_end:
+                    break
+                yield Delay(gap)
+                roll = self._roll_rng.uniform()
+                child = yield from self._spawn_roll(
+                    session, roll, op_rng, counter
+                )
+                spawned.append(child)
+                if len(spawned) >= self.PRUNE_AT:
+                    spawned = [p for p in spawned if not p.done]
+        else:
+            epoch = self.EPOCH
+            exhausted = False
+            while not exhausted:
+                gaps = self._gap_rng.exponential_array(mean_gap, epoch)
+                rolls = self._roll_rng.uniform_array(epoch)
+                for index in range(epoch):
+                    gap = float(gaps[index])
+                    if engine.now + gap >= t_end:
+                        exhausted = True
+                        break
+                    yield Delay(gap)
+                    child = yield from self._spawn_roll(
+                        session, float(rolls[index]), op_rng, counter
+                    )
+                    spawned.append(child)
+                    if len(spawned) >= self.PRUNE_AT:
+                        spawned = [p for p in spawned if not p.done]
         pending = [process for process in spawned if not process.done]
         if pending:
             yield AllOf(pending)
@@ -372,6 +461,7 @@ def run_serve(
     max_inflight: int = 8,
     scrub: bool = False,
     scrub_rate_bytes: float = 4 * units.MB,
+    include_events: bool = False,
 ) -> dict:
     """Run one serving experiment; returns the report dict.
 
@@ -621,4 +711,8 @@ def run_serve(
         session.session_id: dict(sorted(session.outcomes.items()))
         for session in sorted(sessions, key=lambda s: s.session_id)
     }
+    if include_events:
+        # Opt-in so the default report keeps its historical byte form;
+        # the perf scenarios use this for events-per-op accounting.
+        report["events_issued"] = engine.events_issued
     return report

@@ -143,6 +143,18 @@ class ClientSession:
         #: and raised per op) instead of killing the whole pool.
         self.sticky_disconnect = sticky_disconnect
         self.outcomes: dict[str, int] = {status: 0 for status in STATUSES}
+        # Per-op metric instruments, resolved once: _finish used to pay
+        # an f-string plus a registry get-or-create per operation, which
+        # is real money at pooled-fleet op rates (registry entries are
+        # shared per tenant, so pre-creating them changes no output).
+        self._status_counters = {
+            status: metrics.counter(f"serve.ops.{tenant}.{status}")
+            for status in STATUSES
+        }
+        self._latency = metrics.histogram(
+            f"serve.latency_s.{tenant}", LATENCY_BOUNDS
+        )
+        self._bytes = metrics.counter(f"serve.bytes.{tenant}")
 
     # ------------------------------------------------------------------
     def perform(self, op: ServeOp) -> Generator:
@@ -200,14 +212,10 @@ class ClientSession:
     def _finish(self, op: ServeOp, status: str, start: float) -> OpOutcome:
         elapsed = self.engine.now - start
         self.outcomes[status] += 1
-        self.metrics.counter(f"serve.ops.{self.tenant}.{status}").inc()
+        self._status_counters[status].inc()
         if status == "ok":
-            self.metrics.histogram(
-                f"serve.latency_s.{self.tenant}", LATENCY_BOUNDS
-            ).observe(elapsed)
-            self.metrics.counter(f"serve.bytes.{self.tenant}").inc(
-                op.nbytes
-            )
+            self._latency.observe(elapsed)
+            self._bytes.inc(op.nbytes)
         return OpOutcome(
             op=op.kind,
             path=op.path,

@@ -43,21 +43,38 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Generator, Optional
 
-from repro.sim.engine import SimulationError, Wait
+from repro.sim.engine import Alarm, Park, SimulationError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.sim.engine import Engine, SimEvent, Timer
+    from repro.sim.engine import Engine, Process
 
 _EPSILON_BYTES = 1e-6
 
 
-class _Flow:
-    __slots__ = ("remaining", "weight", "event")
+class _Flow(Park):
+    """One active transfer; doubles as the waiter's parking effect.
 
-    def __init__(self, remaining: float, weight: float, event: "SimEvent"):
+    Yielding the flow itself (instead of ``Wait`` on a freshly allocated
+    per-transfer ``SimEvent``) saves two allocations and the waiter-list
+    bookkeeping per transfer; ``_detach`` supports interrupting the
+    transferring process — the flow keeps draining, its completion then
+    wakes nobody (matching the old fire-an-event-with-no-waiters
+    behaviour).
+    """
+
+    __slots__ = ("remaining", "weight", "waiter")
+
+    def __init__(self, remaining: float, weight: float):
         self.remaining = remaining
         self.weight = weight
-        self.event = event
+        self.waiter: Optional["Process"] = None
+
+    def _attach(self, process: "Process") -> None:
+        self.waiter = process
+
+    def _detach(self, process: "Process") -> None:
+        if self.waiter is process:
+            self.waiter = None
 
 
 class SharedBandwidth:
@@ -71,9 +88,8 @@ class SharedBandwidth:
         self.name = name
         self._flows: list[_Flow] = []
         self._last_settled = engine.now
-        self._timer: Optional["Timer"] = None
+        self._alarm = Alarm(engine, self._on_alarm)
         self._bytes_moved = 0.0
-        self._event_name = f"{name}:transfer"
         # Incremental bookkeeping (see module docstring).
         self._weight_total = 0.0
         self._nonintegral_weights = 0
@@ -136,16 +152,37 @@ class SharedBandwidth:
             raise ValueError(f"weight must be positive, got {weight}")
         if nbytes == 0:
             return
-        event = self.engine.event(self._event_name)
+        engine = self.engine
         self._settle()
-        flow = _Flow(float(nbytes), float(weight), event)
+        flow = _Flow(float(nbytes), float(weight))
         self._flows.append(flow)
-        self._add_weight(flow.weight)
+        # Inlined _add_weight / _note_arrival / reschedule: this is the
+        # hottest loop in flow-churn workloads, and each helper call paid
+        # a frame plus repeated attribute loads.  The arithmetic is kept
+        # expression-for-expression identical (chaos corpus byte-identity
+        # is the oracle).
+        w = flow.weight
+        self._weight_total += w
+        if w != int(w):
+            self._nonintegral_weights += 1
         if flow.remaining <= self._threshold:
             self._tiny_pending = True
-        self._note_arrival(flow)
-        self._reschedule()
-        yield Wait(event)
+        capacity = self.capacity
+        total = self._weight_total
+        current = self._min_flow
+        if current is None:
+            current = flow
+        elif (
+            flow.remaining / (capacity * flow.weight / total)
+            < current.remaining / (capacity * current.weight / total)
+        ):
+            current = flow
+        self._min_flow = current
+        self._alarm.arm(
+            engine._now
+            + current.remaining / (capacity * current.weight / total)
+        )
+        yield flow
 
     def estimate_seconds(self, nbytes: float) -> float:
         """Time to move ``nbytes`` if this flow ran alone (no contention)."""
@@ -156,12 +193,6 @@ class SharedBandwidth:
     # ------------------------------------------------------------------
     def _total_weight(self) -> float:
         return self._weight_total
-
-    def _add_weight(self, weight: float) -> None:
-        # Appending reproduces the seed's left-to-right sum bit for bit.
-        self._weight_total += weight
-        if weight != int(weight):
-            self._nonintegral_weights += 1
 
     def _remove_weights(self, finished: list[_Flow]) -> None:
         if self._nonintegral_weights:
@@ -198,20 +229,6 @@ class SharedBandwidth:
             self.capacity * flow.weight / self._weight_total
         )
 
-    def _note_arrival(self, flow: _Flow) -> None:
-        """Keep ``_min_flow`` the next flow to complete after an arrival.
-
-        Under processor sharing every flow drains its ``remaining/weight``
-        at the same rate, so the argmin is stable between arrivals; a new
-        flow only takes over if it would finish strictly sooner (ties keep
-        the earlier flow, matching ``min()`` over the list).
-        """
-        current = self._min_flow
-        if current is None:
-            self._min_flow = flow
-        elif self._next_completion_of(flow) < self._next_completion_of(current):
-            self._min_flow = flow
-
     def _settle(self) -> None:
         """Advance every active flow's progress up to the current time.
 
@@ -220,7 +237,7 @@ class SharedBandwidth:
         the seed's exact arithmetic, in list order — only when progress
         must be credited.
         """
-        now = self.engine.now
+        now = self.engine._now
         elapsed = now - self._last_settled
         self._last_settled = now
         flows = self._flows
@@ -231,15 +248,19 @@ class SharedBandwidth:
         if elapsed > 0:
             total_weight = self._weight_total
             capacity = self.capacity
+            # Running total in a local (same adds, same order: the float
+            # result is bit-identical to updating the attribute per flow).
+            bytes_moved = self._bytes_moved
             for flow in flows:
                 rate = capacity * flow.weight / total_weight
                 moved = rate * elapsed
                 if moved > flow.remaining:
                     moved = flow.remaining
                 flow.remaining -= moved
-                self._bytes_moved += moved
+                bytes_moved += moved
                 if flow.remaining <= threshold:
                     crossed = True
+            self._bytes_moved = bytes_moved
         if not crossed and not self._tiny_pending:
             return
         self._tiny_pending = False
@@ -247,10 +268,17 @@ class SharedBandwidth:
         if finished:
             self._flows = flows = [f for f in flows if f.remaining > threshold]
             self._remove_weights(finished)
+            engine = self.engine
+            runq = engine._runq
+            seq_next = engine._seq_next
             for flow in finished:
                 self._bytes_moved += flow.remaining
                 flow.remaining = 0.0
-                flow.event.succeed()
+                waiter = flow.waiter
+                if waiter is not None:
+                    flow.waiter = None
+                    runq.append((seq_next(), waiter, None, None))
+                    waiter._suspension = None
             # The finished flow was (almost always) the tracked argmin;
             # rescan the survivors while we already hold them.
             best: Optional[_Flow] = None
@@ -262,19 +290,22 @@ class SharedBandwidth:
                     best_completion = completion
             self._min_flow = best
 
-    def _reschedule(self) -> None:
-        if self._timer is not None:
-            self._timer.cancel()
-            self._timer = None
-        flow = self._min_flow
-        if not self._flows:
-            return
-        next_completion = self._next_completion_of(flow)
-        if next_completion < 0:
-            raise SimulationError("negative completion time in bandwidth model")
-        self._timer = self.engine.call_later(next_completion, self._on_timer)
+    def _on_alarm(self) -> None:
+        """Alarm callback: credit progress, then re-arm for the new argmin.
 
-    def _on_timer(self) -> None:
-        self._timer = None
+        ``_min_flow`` is ``None`` exactly when no flows remain (the
+        ``_settle`` rescan maintains this), so a drained device simply
+        stops re-arming — matching the old one-shot timer's behaviour of
+        firing once more after drain and going quiet.
+        """
         self._settle()
-        self._reschedule()
+        flow = self._min_flow
+        if flow is not None:
+            next_completion = flow.remaining / (
+                self.capacity * flow.weight / self._weight_total
+            )
+            if next_completion < 0:
+                raise SimulationError(
+                    "negative completion time in bandwidth model"
+                )
+            self._alarm.arm(self.engine._now + next_completion)

@@ -167,6 +167,28 @@ class Acquire(Effect):
         self.priority = priority
 
 
+class Park(Effect):
+    """Base for effects that park the yielding process *on themselves*.
+
+    A :class:`Wait` costs a :class:`SimEvent` allocation plus waiter-list
+    bookkeeping per use; models that create one single-waiter event per
+    operation (the bandwidth model's per-transfer completion) can instead
+    yield a ``Park`` subclass that stores the waiter in a slot of its own.
+    Contract: ``_attach(process)`` records the waiter; ``_detach(process)``
+    (called by :meth:`Process.interrupt`) forgets it; the owner resumes the
+    waiter later via ``engine._schedule_resume`` — or a fused inline
+    equivalent — exactly once, skipping it if detached.
+    """
+
+    __slots__ = ()
+
+    def _attach(self, process: "Process") -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def _detach(self, process: "Process") -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
 class Timer:
     """Handle for a scheduled callback; may be cancelled before it fires.
 
@@ -197,6 +219,63 @@ class Timer:
         engine._dead_timers += 1
         # Amortized heap hygiene: once the heap is mostly corpses, rebuild
         # it without them.  Keeps long flow-churn runs bounded in memory.
+        if (
+            engine._dead_timers * 2 > len(engine._heap)
+            and len(engine._heap) > _COMPACT_MIN_HEAP
+        ):
+            engine._compact_heap()
+
+
+class Alarm:
+    """Re-armable heap callback: one object, arbitrarily many arms.
+
+    A :class:`Timer` is a one-shot handle — every ``call_later`` allocates a
+    fresh object and every reschedule pays a ``cancel``.  Components that
+    re-arm the *same* logical deadline on every event (the bandwidth model
+    re-times its next-completion on each flow arrival) instead keep one
+    Alarm and call :meth:`arm` with the new absolute time.  Liveness uses
+    the ``Delay`` protocol: the pushed ``(time, sequence, alarm)`` entry is
+    live iff ``_suspension`` still holds that exact tuple, so re-arming or
+    :meth:`disarm` just replaces/clears the slot — no allocation, no flag.
+    """
+
+    __slots__ = ("engine", "callback", "_suspension")
+
+    def __init__(self, engine: "Engine", callback: Callable[[], None]):
+        self.engine = engine
+        self.callback = callback
+        self._suspension: Any = None
+
+    @property
+    def armed(self) -> bool:
+        return self._suspension is not None
+
+    def arm(self, time: float) -> None:
+        """(Re-)schedule the callback at absolute simulated ``time``."""
+        engine = self.engine
+        heap = engine._heap
+        if self._suspension is None:
+            engine._live_timers += 1
+        else:
+            # Re-arm: old entry goes dead, new one live — net live count
+            # unchanged.
+            engine._dead_timers += 1
+        entry = (time, engine._seq_next(), self)
+        heapq.heappush(heap, entry)
+        self._suspension = entry
+        if (
+            engine._dead_timers * 2 > len(heap)
+            and len(heap) > _COMPACT_MIN_HEAP
+        ):
+            engine._compact_heap()
+
+    def disarm(self) -> None:
+        if self._suspension is None:
+            return
+        self._suspension = None
+        engine = self.engine
+        engine._live_timers -= 1
+        engine._dead_timers += 1
         if (
             engine._dead_timers * 2 > len(engine._heap)
             and len(engine._heap) > _COMPACT_MIN_HEAP
@@ -479,6 +558,45 @@ class Engine:
         """Number of scheduled, not-yet-cancelled timers (O(1))."""
         return self._live_timers
 
+    @property
+    def events_issued(self) -> int:
+        """Sequence numbers drawn so far — a cheap proxy for event volume.
+
+        Every scheduled occurrence (run-queue resume, Delay, timer, alarm
+        arm) draws exactly one number, so this tracks engine work without
+        a per-event counter increment on the hot path.
+        """
+        # itertools.count pickles as (count, (next_value,)): a
+        # non-consuming peek at the counter.
+        return self._sequence.__reduce__()[1][0]
+
+    def next_event_time(self) -> Optional[float]:
+        """Earliest pending occurrence time, or ``None`` when drained.
+
+        Queued same-time resumes report the current clock.  Dead heap
+        entries encountered while peeking are popped (with the usual
+        accounting), so repeated peeks stay amortized O(log n).  Used by
+        the sharded engine's conservative window merge.
+        """
+        if self._runq:
+            return self._now
+        heap = self._heap
+        heappop = heapq.heappop
+        while heap:
+            entry = heap[0]
+            owner = entry[2]
+            if owner.__class__ is Timer:
+                if owner.cancelled:
+                    heappop(heap)
+                    self._dead_timers -= 1
+                    continue
+            elif owner._suspension is not entry:
+                heappop(heap)
+                self._dead_timers -= 1
+                continue
+            return entry[0]
+        return None
+
     # ------------------------------------------------------------------
     # Timers
     # ------------------------------------------------------------------
@@ -567,7 +685,10 @@ class Engine:
                             heappop(heap)
                             self._live_timers -= 1
                             owner._suspension = None
-                            step(owner, None, None)
+                            if owner.__class__ is Process:
+                                step(owner, None, None)
+                            else:
+                                owner.callback()
                             continue
                 _seq, process, value, exception = runq.popleft()
                 step(process, value, exception)
@@ -599,9 +720,95 @@ class Engine:
                 self._live_timers -= 1
                 self._now = entry[0]
                 owner._suspension = None
-                step(owner, None, None)
+                if owner.__class__ is Process:
+                    step(owner, None, None)
+                else:
+                    owner.callback()
         if until is not None and self._now < until:
             self._now = until
+
+    def run_below(self, limit: float) -> None:
+        """Run every pending occurrence strictly below time ``limit``.
+
+        The conservative time-window primitive for
+        :class:`repro.sim.shard.ShardedEngine`: same (time, sequence)
+        merge discipline as :meth:`run`, but events *at* ``limit`` stay
+        pending and the clock is left at the last processed occurrence —
+        never advanced to ``limit`` — so a cross-shard delivery at
+        ``limit`` can still interleave ahead of same-time local events.
+        Queued same-time resumes count as occurrences at the current
+        clock.
+        """
+        if self._now >= limit:
+            return
+        heap = self._heap
+        runq = self._runq
+        heappop = heapq.heappop
+        step = self._step
+        while True:
+            if runq:
+                if heap:
+                    entry = heap[0]
+                    owner = entry[2]
+                    if owner.__class__ is Timer:
+                        if owner.cancelled:
+                            heappop(heap)
+                            self._dead_timers -= 1
+                            continue
+                        if entry[0] <= self._now and entry[1] < runq[0][0]:
+                            heappop(heap)
+                            self._live_timers -= 1
+                            owner.cancelled = True  # consumed: see Timer.cancel
+                            owner.callback()
+                            continue
+                    else:
+                        if owner._suspension is not entry:
+                            heappop(heap)
+                            self._dead_timers -= 1
+                            continue
+                        if entry[0] <= self._now and entry[1] < runq[0][0]:
+                            heappop(heap)
+                            self._live_timers -= 1
+                            owner._suspension = None
+                            if owner.__class__ is Process:
+                                step(owner, None, None)
+                            else:
+                                owner.callback()
+                            continue
+                _seq, process, value, exception = runq.popleft()
+                step(process, value, exception)
+                continue
+            if not heap:
+                break
+            entry = heap[0]
+            owner = entry[2]
+            if owner.__class__ is Timer:
+                if owner.cancelled:
+                    heappop(heap)
+                    self._dead_timers -= 1
+                    continue
+                if entry[0] >= limit:
+                    break
+                heappop(heap)
+                self._live_timers -= 1
+                self._now = entry[0]
+                owner.cancelled = True  # consumed: see Timer.cancel
+                owner.callback()
+            else:
+                if owner._suspension is not entry:
+                    heappop(heap)
+                    self._dead_timers -= 1
+                    continue
+                if entry[0] >= limit:
+                    break
+                heappop(heap)
+                self._live_timers -= 1
+                self._now = entry[0]
+                owner._suspension = None
+                if owner.__class__ is Process:
+                    step(owner, None, None)
+                else:
+                    owner.callback()
 
     def run_process(self, generator: Generator, name: str = "") -> Any:
         """Spawn ``generator`` and run the simulation until it completes.
@@ -642,7 +849,10 @@ class Engine:
                             heappop(heap)
                             self._live_timers -= 1
                             owner._suspension = None
-                            step(owner, None, None)
+                            if owner.__class__ is Process:
+                                step(owner, None, None)
+                            else:
+                                owner.callback()
                             continue
                 _seq, process, value, exception = runq.popleft()
                 step(process, value, exception)
@@ -666,7 +876,10 @@ class Engine:
                 self._live_timers -= 1
                 self._now = entry[0]
                 owner._suspension = None
-                step(owner, None, None)
+                if owner.__class__ is Process:
+                    step(owner, None, None)
+                else:
+                    owner.callback()
         if not target.done:
             raise SimulationError(
                 f"deadlock: process {target.name!r} never completed "
@@ -740,6 +953,9 @@ class Engine:
                 self._join_first(process, effect.processes)
             elif cls is Acquire:
                 effect.resource._enqueue(process, effect.priority)
+            elif isinstance(effect, Park):
+                effect._attach(process)
+                process._suspension = effect
             elif isinstance(effect, Effect):  # subclassed effect: slow path
                 self._apply_effect_slow(process, effect)
             else:
@@ -776,6 +992,9 @@ class Engine:
             self._join_first(process, effect.processes)
         elif isinstance(effect, Acquire):
             effect.resource._enqueue(process, effect.priority)
+        elif isinstance(effect, Park):
+            effect._attach(process)
+            process._suspension = effect
         else:
             self._finish(
                 process,

@@ -47,3 +47,18 @@ class DeterministicRNG:
 
     def lognormal(self, mean: float, sigma: float) -> float:
         return float(self._generator.lognormal(mean, sigma))
+
+    # Batch draws ------------------------------------------------------
+    # numpy Generators produce the *same underlying stream* for one
+    # size-n array draw as for n sequential scalar draws of the same
+    # distribution, so a consumer may switch between scalar and batch
+    # (or split one batch into several) without changing the values it
+    # sees.  The vectorized load generator leans on this; the
+    # scalar↔batch equivalence is pinned by a hypothesis property test.
+    def uniform_array(
+        self, n: int, low: float = 0.0, high: float = 1.0
+    ) -> np.ndarray:
+        return self._generator.uniform(low, high, int(n))
+
+    def exponential_array(self, mean: float, n: int) -> np.ndarray:
+        return self._generator.exponential(mean, int(n))

@@ -41,7 +41,8 @@ def test_cold_read_scenario_runs():
 
 def test_scenario_registry_has_the_canonical_workloads():
     assert set(SCENARIOS) == {
-        "cold_read", "longevity_slice", "chaos_campaign", "serve", "fleet"
+        "cold_read", "longevity_slice", "chaos_campaign", "serve", "fleet",
+        "serve_xl",
     }
 
 
@@ -144,3 +145,14 @@ def test_cli_profile_smoke(capsys):
 def test_cli_profile_unknown_target(capsys):
     assert main(["profile", "bogus"]) == 2
     assert "unknown profile target" in capsys.readouterr().out
+
+
+def test_serve_xl_scenario_reports_volume_and_event_rates():
+    results = run_scenarios(["serve_xl"])
+    stats = results["serve_xl"]
+    # >=10x the serve scenario's historical ~2.5k ops
+    assert stats["ops"] >= 25_180
+    assert stats["events"] > stats["ops"]
+    assert stats["events_per_op"] > 1
+    # derived by the harness from the wall timing
+    assert stats["events_per_sec"] > 0

@@ -656,3 +656,101 @@ def test_property_same_time_fifo_matches_reference(root_ops):
     engine.spawn(worker(0, root_ops))
     engine.run()
     assert log == _reference_order(root_ops)
+
+
+# ---------------------------------------------------------------------------
+# Alarm: re-armable heap callback (the bandwidth model's wake-up)
+# ---------------------------------------------------------------------------
+def test_alarm_fires_once_at_armed_time():
+    from repro.sim.engine import Alarm
+
+    engine = Engine()
+    fired = []
+    alarm = Alarm(engine, lambda: fired.append(engine.now))
+    assert not alarm.armed
+    alarm.arm(2.5)
+    assert alarm.armed
+    engine.run()
+    assert fired == [2.5]
+    assert not alarm.armed
+    assert engine.is_idle
+
+
+def test_alarm_rearm_replaces_previous_time():
+    from repro.sim.engine import Alarm
+
+    engine = Engine()
+    fired = []
+    alarm = Alarm(engine, lambda: fired.append(engine.now))
+    alarm.arm(1.0)
+    alarm.arm(3.0)  # the 1.0 entry is dead, only 3.0 fires
+    engine.run()
+    assert fired == [3.0]
+    assert engine.is_idle
+
+
+def test_alarm_disarm_cancels_and_engine_drains():
+    from repro.sim.engine import Alarm
+
+    engine = Engine()
+    fired = []
+    alarm = Alarm(engine, lambda: fired.append(engine.now))
+    alarm.arm(1.0)
+    alarm.disarm()
+    assert not alarm.armed
+    engine.run()
+    assert fired == []
+    assert engine.is_idle
+    assert engine.now == 0.0  # dead entry discarded, clock untouched
+
+
+def test_alarm_rearms_from_its_own_callback():
+    from repro.sim.engine import Alarm
+
+    engine = Engine()
+    fired = []
+
+    def tick():
+        fired.append(engine.now)
+        if len(fired) < 3:
+            alarm.arm(engine.now + 1.0)
+
+    alarm = Alarm(engine, tick)
+    alarm.arm(1.0)
+    engine.run()
+    assert fired == [1.0, 2.0, 3.0]
+    assert engine.is_idle
+
+
+def test_alarm_interleaves_with_processes_in_seq_order():
+    from repro.sim.engine import Alarm
+
+    engine = Engine()
+    order = []
+
+    def proc():
+        yield Delay(1.0)
+        order.append("process")
+
+    # The Delay draws its sequence number when the process *yields*
+    # (inside run(), after arm), so the alarm's earlier sequence wins
+    # the t=1.0 tie — same-time ordering follows issue order, exactly
+    # as for two timers.
+    engine.spawn(proc())
+    alarm = Alarm(engine, lambda: order.append("alarm"))
+    alarm.arm(1.0)
+    engine.run()
+    assert order == ["alarm", "process"]
+
+
+def test_events_issued_counts_monotonically():
+    engine = Engine()
+    before = engine.events_issued
+
+    def proc():
+        yield Delay(1.0)
+
+    engine.run_process(proc())
+    after = engine.events_issued
+    assert after > before
+    assert engine.events_issued == after  # property peek does not consume

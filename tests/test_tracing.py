@@ -357,3 +357,73 @@ def test_histogram_quantile_empty_and_validation():
         histogram.quantile(-0.1)
     with pytest.raises(ValueError):
         histogram.quantile(1.5)
+
+
+# ---------------------------------------------------------------------------
+# record_many: the bulk path must be *exactly* n sequential observes
+# ---------------------------------------------------------------------------
+def _paired(bounds=(0.5, 1.0, 5.0, 50.0)):
+    return Histogram("bulk", bounds), Histogram("seq", bounds)
+
+
+def test_record_many_matches_sequential_observe_exactly():
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=500.0,
+                      allow_nan=False, allow_infinity=False),
+            max_size=300,
+        )
+    )
+    @settings(max_examples=150, deadline=None)
+    def check(values):
+        bulk, seq = _paired()
+        bulk.record_many(values)
+        for value in values:
+            seq.observe(value)
+        assert bulk.counts.tolist() == seq.counts.tolist()
+        assert bulk.count == seq.count
+        # float total must round identically: sequential accumulation,
+        # not pairwise np.sum
+        assert bulk.total == seq.total
+        for q in (0.25, 0.5, 0.95, 0.99, 1.0):
+            assert bulk.quantile(q) == seq.quantile(q)
+        assert bulk.buckets() == seq.buckets()
+
+    check()
+
+
+def test_record_many_overflow_saturation_matches_observe():
+    bulk, seq = _paired(bounds=(1.0, 2.0))
+    values = [100.0, 200.0, 1.5]
+    bulk.record_many(values)
+    for value in values:
+        seq.observe(value)
+    assert bulk.counts.tolist() == seq.counts.tolist()
+    # overflow mass still reports the last finite bound
+    assert bulk.quantile(0.99) == seq.quantile(0.99) == pytest.approx(2.0)
+
+
+def test_record_many_accepts_ndarray_and_empty():
+    import numpy as np
+
+    bulk, seq = _paired()
+    bulk.record_many(np.array([], dtype=np.float64))
+    assert bulk.count == 0 and bulk.total == 0.0
+    bulk.record_many(np.array([0.25, 75.0]))
+    seq.observe(0.25)
+    seq.observe(75.0)
+    assert bulk.counts.tolist() == seq.counts.tolist()
+    assert bulk.total == seq.total
+
+
+def test_bucket_counts_json_serializable():
+    import json
+
+    histogram = Histogram("h", (1.0, 2.0))
+    histogram.record_many([0.5, 1.5, 9.0])
+    # np.int64 is not JSON-safe; buckets()/quantile() must cast
+    json.dumps(histogram.buckets())
+    json.dumps(histogram.quantile(0.5))
