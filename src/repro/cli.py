@@ -16,6 +16,7 @@ builds what it needs and prints a report:
     serve        multi-tenant serving load run with QoS percentile report
     preserve     decades-scale preservation campaign, loss-rate verdict
     fleet        multi-site fleet campaign: site loss, recovery, I8 audit
+    fleet-monitor  telemetry agents + closed-loop supervisor, I9 audit
     bench        engine events/s + scenario wall-clock, perf-gate check
     profile      cProfile a scenario or microbench, top-N hotspots
 """
@@ -383,7 +384,7 @@ def cmd_serve(args) -> int:
     if args.xl:
         return _cmd_serve_xl(args)
     runs = []
-    for _ in range(max(1, args.runs)):
+    for index in range(max(1, args.runs)):
         report = run_serve(
             args.seed,
             duration_s=args.duration,
@@ -391,7 +392,14 @@ def cmd_serve(args) -> int:
             backend=args.backend,
             faults=args.faults,
             max_inflight=args.max_inflight,
+            # Dump (and embed) the flight journal on the first run only:
+            # later byte-compared runs must not carry a different path,
+            # and one dump of a deterministic run is all anyone needs.
+            flight_out=args.flight_out if index == 0 else None,
         )
+        if index == 0 and args.flight_out:
+            print(f"wrote flight-recorder dump to {args.flight_out}")
+            report.pop("flight_dump", None)
         runs.append(report_to_json(report))
     identical = all(run == runs[0] for run in runs[1:])
     report = json.loads(runs[0])
@@ -584,7 +592,7 @@ def cmd_fleet(args) -> int:
     from repro.fleet import render_text, report_to_json, run_fleet
 
     runs = []
-    for _ in range(max(1, args.runs)):
+    for index in range(max(1, args.runs)):
         report = run_fleet(
             args.seed,
             sites=args.sites,
@@ -595,7 +603,11 @@ def cmd_fleet(args) -> int:
             arrival_rate=args.arrival_rate,
             rack_loss=not args.no_rack_loss,
             site_loss=not args.no_site_loss,
+            flight_out=args.flight_out if index == 0 else None,
         )
+        if index == 0 and args.flight_out:
+            print(f"wrote flight-recorder dump to {args.flight_out}")
+            report.pop("flight_dump", None)
         runs.append(report_to_json(report))
     identical = all(run == runs[0] for run in runs[1:])
     report = json.loads(runs[0])
@@ -617,6 +629,72 @@ def cmd_fleet(args) -> int:
         return 1
     print(f"all {len(report['invariants'])} invariants hold, "
           f"0 bytes lost; {len(runs)} runs byte-identical")
+    return 0
+
+
+def cmd_fleet_monitor(args) -> int:
+    """Run a monitored fleet campaign (twice, by default) and audit it.
+
+    Telemetry agents replicate rack health into the central store, the
+    closed-loop supervisor remediates what the rules detect, and the
+    audit demands I9 ("remediation converges").  Non-zero exit on any
+    divergence between runs, invariant violation, lost byte, or —
+    with the rack-loss fault enabled — an empty remediation log (a
+    campaign where the closed loop never closed proves nothing).
+    """
+    import json
+
+    from repro.fleet.monitor import (
+        render_text,
+        report_to_json,
+        run_fleet_monitor,
+    )
+
+    runs = []
+    for index in range(max(1, args.runs)):
+        report = run_fleet_monitor(
+            args.seed,
+            sites=args.sites,
+            racks_per_site=args.racks_per_site,
+            clients=args.clients,
+            duration_s=args.duration,
+            objects=args.objects,
+            arrival_rate=args.arrival_rate,
+            rack_loss=not args.no_rack_loss,
+            site_loss=args.site_loss,
+            telemetry=not args.no_telemetry,
+            flight_out=args.flight_out if index == 0 else None,
+        )
+        if index == 0 and args.flight_out:
+            print(f"wrote flight-recorder dump to {args.flight_out}")
+            report.pop("flight_dump", None)
+        runs.append(report_to_json(report))
+    identical = all(run == runs[0] for run in runs[1:])
+    report = json.loads(runs[0])
+
+    print(render_text(report))
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(runs[0])
+        print(f"wrote report to {args.out}")
+    if not identical:
+        print("DETERMINISM VIOLATION: reports differ across identical runs")
+        return 1
+    if not report["ok"]:
+        for inv in report["invariants"]:
+            if not inv["ok"]:
+                print(f"FAILED {inv['invariant']}: {inv['detail']}")
+        if report["bytes_lost"]:
+            print(f"BYTES LOST: {report['bytes_lost']}")
+        return 1
+    telemetry_on = not args.no_telemetry
+    if telemetry_on and not args.no_rack_loss and not report["remediations"]:
+        print("NO REMEDIATION: rack loss was injected but the supervisor "
+              "never fired an action")
+        return 1
+    print(f"all {len(report['invariants'])} invariants hold, "
+          f"{report['remediations']} remediation action(s), 0 bytes lost; "
+          f"{len(runs)} runs byte-identical")
     return 0
 
 
@@ -821,6 +899,8 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--racks", type=int, default=8,
                        help="rack count for --xl (default 8)")
     serve.add_argument("--out", help="write the JSON report here")
+    serve.add_argument("--flight-out",
+                       help="dump the run's flight recorder (JSONL) here")
     serve.set_defaults(handler=cmd_serve)
 
     preserve = sub.add_parser(
@@ -872,7 +952,40 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--no-site-loss", action="store_true",
                        help="skip the mid-run whole-site destruction")
     fleet.add_argument("--out", help="write the JSON report here")
+    fleet.add_argument("--flight-out",
+                       help="dump the run's flight recorder (JSONL) here")
     fleet.set_defaults(handler=cmd_fleet)
+
+    fmon = sub.add_parser(
+        "fleet-monitor",
+        help="fleet telemetry pipeline + closed-loop supervisor, I9 audit",
+    )
+    fmon.add_argument("--seed", type=int, default=7)
+    fmon.add_argument("--sites", type=int, default=3,
+                      help="failure-domain sites (default 3)")
+    fmon.add_argument("--racks-per-site", type=int, default=4,
+                      help="optical racks per site (default 4)")
+    fmon.add_argument("--clients", type=int, default=24_000,
+                      help="pooled open-loop clients across the fleet")
+    fmon.add_argument("--duration", type=float, default=10.0,
+                      help="serving horizon, simulated seconds")
+    fmon.add_argument("--objects", type=int, default=12,
+                      help="erasure-coded images pre-populated")
+    fmon.add_argument("--arrival-rate", type=float, default=40.0,
+                      help="per-site arrival rate, ops/second")
+    fmon.add_argument("--runs", type=int, default=2,
+                      help="identical runs to byte-compare (default 2)")
+    fmon.add_argument("--no-rack-loss", action="store_true",
+                      help="skip the early rack-destruction fault")
+    fmon.add_argument("--site-loss", action="store_true",
+                      help="also destroy a whole site mid-run")
+    fmon.add_argument("--no-telemetry", action="store_true",
+                      help="baseline: same fleet, loss-event recovery, "
+                           "no agents and no supervisor")
+    fmon.add_argument("--out", help="write the JSON report here")
+    fmon.add_argument("--flight-out",
+                      help="dump the run's flight recorder (JSONL) here")
+    fmon.set_defaults(handler=cmd_fleet_monitor)
 
     bench = sub.add_parser(
         "bench", help="engine events/s + scenario wall-clock, perf gate"
@@ -907,8 +1020,8 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument(
         "target",
         help="scenario (cold_read, longevity_slice, chaos_campaign, "
-             "serve, fleet, serve_xl) or microbench (delay_chain, "
-             "ping_pong, spawn_join, bandwidth_flows)",
+             "serve, fleet, fleet_monitor, serve_xl) or microbench "
+             "(delay_chain, ping_pong, spawn_join, bandwidth_flows)",
     )
     profile.add_argument("--top", type=int, default=15,
                          help="number of hotspot rows (default 15)")

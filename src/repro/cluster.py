@@ -48,6 +48,16 @@ class RackCluster:
             for _ in range(rack_count)
         ]
         self._down: set[int] = set()
+        # monotonic event counters, reported by health() alongside the
+        # gauges — telemetry consumers compute rates from these instead
+        # of diffing snapshots
+        self.counters = {
+            "writes": 0,
+            "reads": 0,
+            "read_failovers": 0,
+            "rack_failures": 0,
+            "rack_restores": 0,
+        }
 
     # ------------------------------------------------------------------
     # Placement: rendezvous hashing (stable under rack addition)
@@ -69,9 +79,13 @@ class RackCluster:
     # ------------------------------------------------------------------
     def fail_rack(self, index: int) -> None:
         """Mark a rack unreachable (power/network loss)."""
+        if index not in self._down:
+            self.counters["rack_failures"] += 1
         self._down.add(index)
 
     def restore_rack(self, index: int) -> None:
+        if index in self._down:
+            self.counters["rack_restores"] += 1
         self._down.discard(index)
 
     def _alive(self, indices: list[int]) -> list[int]:
@@ -88,6 +102,7 @@ class RackCluster:
         traces = []
         for index in targets:
             traces.append(self.racks[index].write(path, data, logical_size))
+        self.counters["writes"] += 1
         return traces[0]
 
     def read(self, path: str):
@@ -100,11 +115,19 @@ class RackCluster:
         failed.
         """
         last_error: Optional[Exception] = None
-        for index in self._alive(self.placement(path)):
+        placement = self.placement(path)
+        for index in self._alive(placement):
             try:
-                return self.racks[index].read(path)
+                result = self.racks[index].read(path)
             except ROSError as error:
                 last_error = error
+                continue
+            self.counters["reads"] += 1
+            if index != placement[0]:
+                # served by a replica — whether the home was marked
+                # down or merely erroring, it's one failover
+                self.counters["read_failovers"] += 1
+            return result
         if last_error is not None:
             raise last_error
         raise RackDownError(f"every rack holding {path!r} is down")
@@ -164,17 +187,23 @@ class RackCluster:
                 path, data, logical_size
             )
             traces.append(trace)
+        self.counters["writes"] += 1
         return traces[0]
 
     def read_process(self, path: str):
         """Generator form of :meth:`read`; same ROSError failover."""
         last_error: Optional[Exception] = None
-        for index in self._alive(self.placement(path)):
+        placement = self.placement(path)
+        for index in self._alive(placement):
             try:
                 result = yield from self.racks[index].pi.read_file(path)
-                return result
             except ROSError as error:
                 last_error = error
+                continue
+            self.counters["reads"] += 1
+            if index != placement[0]:
+                self.counters["read_failovers"] += 1
+            return result
         if last_error is not None:
             raise last_error
         raise RackDownError(f"every rack holding {path!r} is down")
@@ -220,4 +249,6 @@ class RackCluster:
             "racks_up": len(self.racks) - len(self._down),
             "down": sorted(self._down),
             "replicas": self.replicas,
+            # monotonic counters, alongside the gauges above
+            **{key: int(val) for key, val in sorted(self.counters.items())},
         }

@@ -40,6 +40,17 @@ I8. **No durable image is unrecoverable while surviving shards ≥ k.**
     survivors reproduces the original bytes exactly.  Objects below
     ``k`` survivors are *reported* as lost, never silently dropped.
 
+Monitored fleet campaigns (``python -m repro fleet-monitor``) add:
+
+I9. **Remediation converges.**  After the closed-loop supervisor has
+    run its course, no acked write has been lost (every acked object
+    decodes byte-identically — I8's check, zero lost bytes demanded
+    outright) and the fleet has settled into a healthy steady state:
+    no shard is still missing (the rebuilds the supervisor kicked have
+    re-homed everything the chaos corpus destroyed).  Remediation may
+    drain racks and move data, but it must never make durability
+    *worse* than doing nothing.
+
 Each check returns ``{"invariant": name, "ok": bool, "detail": {...}}``
 with JSON-safe details, so reports serialize deterministically.
 """
@@ -283,6 +294,36 @@ def check_fleet_recoverable(store) -> dict:
             "problems": problems[:10],
             "lost_objects": len(lost),
             "lost_bytes": sum(entry["bytes"] for entry in lost),
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# I9: closed-loop remediation converges (monitored fleet campaigns)
+# ----------------------------------------------------------------------
+def check_remediation_converges(store, supervisor) -> dict:
+    """I9: after remediation, acked objects decode AND the fleet is
+    healthy — zero lost bytes, zero still-missing shards."""
+    base = check_fleet_recoverable(store)
+    lost_shards = store.lost_shards()
+    drained = sorted(
+        rack_id for rack_id, rack in store.racks.items() if rack.drained
+    )
+    ok = (
+        base["ok"]
+        and base["detail"]["lost_bytes"] == 0
+        and not lost_shards
+    )
+    return _result(
+        "remediation_converges",
+        ok,
+        {
+            "checked": base["detail"]["checked"],
+            "problems": base["detail"]["problems"],
+            "lost_bytes": base["detail"]["lost_bytes"],
+            "lost_shards": len(lost_shards),
+            "actions": len(supervisor.log),
+            "drained_racks": drained,
         },
     )
 

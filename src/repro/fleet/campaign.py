@@ -123,6 +123,7 @@ def run_fleet(
     detection_delay_s: float = 0.5,
     read_fraction: float = 0.8,
     max_inflight: int = 32,
+    flight_out: str | None = None,
 ) -> dict:
     """One fleet campaign; returns the (JSON-safe) report dict.
 
@@ -131,8 +132,17 @@ def run_fleet(
     defaults this serves 105 000 pooled clients over 24 racks in 3
     sites, loses one rack early and one whole site mid-run, and must
     end with every acked object decodable (I8) and zero bytes lost.
+
+    ``flight_out`` attaches a flight recorder for the run and dumps it
+    (JSONL) to that path; unset, run and report stay byte-identical to
+    an unrecorded build.
     """
     engine = Engine()
+    recorder = None
+    if flight_out:
+        from repro.obs.recorder import FlightRecorder
+
+        recorder = FlightRecorder(engine).install()
     topology = FleetTopology(sites=sites, racks_per_site=racks_per_site)
     layout = Layout(k=k, m=m)
     store = FleetStore(engine, topology, layout)
@@ -268,6 +278,9 @@ def run_fleet(
         "bytes_lost": lost_bytes,
         "ok": ok,
     }
+    if recorder is not None:
+        recorder.dump(flight_out)
+        report["flight_dump"] = flight_out
     return report
 
 

@@ -61,10 +61,19 @@ class ShardRack:
         self._wire: dict[tuple[str, int], float] = {}
         self.up = True
         self.destroyed = False
+        #: drained racks serve reads but take no new placements — the
+        #: supervisor's "reroute tenants off this rack" remediation
+        self.drained = False
         #: logical (wire) bytes stored, for capacity accounting
         self.used_bytes = 0.0
         self.failures = 0
         self.destructions = 0
+        # monotonic op counters: telemetry agents compute rates from
+        # these instead of diffing health() dicts
+        self.stores = 0
+        self.store_errors = 0
+        self.fetches = 0
+        self.fetch_errors = 0
 
     # -- failure-domain state ------------------------------------------
     def fail(self, destroy: bool = False) -> int:
@@ -91,6 +100,10 @@ class ShardRack:
     # -- shard I/O -----------------------------------------------------
     def _require_up(self, verb: str, path: str) -> None:
         if not self.up:
+            if verb == "store":
+                self.store_errors += 1
+            else:
+                self.fetch_errors += 1
             raise RackLostError(
                 f"{self.rack_id}: rack down, cannot {verb} {path}"
             )
@@ -116,6 +129,7 @@ class ShardRack:
         self.shards[key] = payload
         self._wire[key] = wire
         self.used_bytes += wire - previous
+        self.stores += 1
         return len(payload)
 
     def preload(
@@ -143,6 +157,7 @@ class ShardRack:
         self._require_up("fetch", path)
         key = (path, position)
         if key not in self.shards:
+            self.fetch_errors += 1
             raise ShardUnavailableError(
                 f"{self.rack_id}: no shard {position} of {path}"
             )
@@ -151,6 +166,7 @@ class ShardRack:
         if wire > 0:
             yield from self.lane.transfer(wire)
         self._require_up("fetch", path)
+        self.fetches += 1
         return self.shards[key]
 
     def peek(self, path: str, position: int) -> Optional[bytes]:
@@ -175,8 +191,15 @@ class ShardRack:
             "site": self.site,
             "up": self.up,
             "destroyed": self.destroyed,
+            "drained": self.drained,
             "shards": len(self.shards),
             "used_bytes": round(self.used_bytes, 3),
             "active_flows": self.lane.active_flows,
+            # monotonic counters, alongside the gauges above
             "failures": self.failures,
+            "destructions": self.destructions,
+            "stores": self.stores,
+            "store_errors": self.store_errors,
+            "fetches": self.fetches,
+            "fetch_errors": self.fetch_errors,
         }

@@ -179,18 +179,35 @@ class FleetStore:
             "remote_gets": 0,
             "failovers": 0,
             "shards_destroyed": 0,
+            "drains": 0,
+            "undrains": 0,
         }
 
     # ------------------------------------------------------------------
     # Placement helpers
     # ------------------------------------------------------------------
     def _serving_racks(self) -> dict[str, str]:
-        """Racks a new shard may land on (up, in rack-id order)."""
+        """Racks a new shard may land on (up, not drained, in rack-id
+        order).  A drained rack still serves the shards it holds."""
         return {
             rack_id: rack.site
             for rack_id, rack in sorted(self.racks.items())
-            if rack.up
+            if rack.up and not rack.drained
         }
+
+    def set_drained(self, rack_id: str, drained: bool = True) -> bool:
+        """Drain (or undrain) one rack: excluded from new placements and
+        rebuild targets, deprioritized on reads.  The supervisor's
+        "reroute tenants off the rack" remediation.  Returns True if
+        the flag actually changed."""
+        if rack_id not in self.racks:
+            raise FleetError(f"unknown rack {rack_id}")
+        rack = self.racks[rack_id]
+        if rack.drained == drained:
+            return False
+        rack.drained = drained
+        self.stats["drains" if drained else "undrains"] += 1
+        return True
 
     def placement_for(self, path: str) -> list[str]:
         candidates = self._serving_racks()
@@ -241,7 +258,8 @@ class FleetStore:
         self, record: ObjectRecord, site: Optional[str]
     ) -> list[int]:
         """Shard positions by preference: available first, local site,
-        then lighter lanes, then stable rack order."""
+        undrained before drained, then lighter lanes, then stable rack
+        order."""
         candidates = []
         for position, rack_id in enumerate(record.placement):
             rack = self.racks[rack_id]
@@ -249,10 +267,11 @@ class FleetStore:
                 continue
             remote = 1 if (site is not None and rack.site != site) else 0
             candidates.append(
-                (remote, rack.lane.active_flows, rack_id, position)
+                (remote, 1 if rack.drained else 0,
+                 rack.lane.active_flows, rack_id, position)
             )
         candidates.sort()
-        return [position for _r, _f, _id, position in candidates]
+        return [position for *_rank, position in candidates]
 
     def get(self, path: str, site: Optional[str] = None) -> Generator:
         """Read one image back from any ``k`` shards, verifying bytes."""
@@ -442,7 +461,7 @@ class FleetStore:
         candidates = [
             rack_id
             for rack_id, rack in sorted(self.racks.items())
-            if rack.up and rack_id not in occupied
+            if rack.up and not rack.drained and rack_id not in occupied
         ]
         if not candidates:
             raise FleetError("no rack available for rebuild")

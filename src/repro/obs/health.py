@@ -58,6 +58,9 @@ class SystemMonitor:
         self._finished = False
         #: extra subsystems rolled into every snapshot (name -> health fn)
         self._extra: dict[str, Callable[[], dict]] = {}
+        #: monotonic event counters (gauges live in the timeline); unlike
+        #: ``len(self.timeline)`` these never lose history to the ring
+        self.counters = {"ticks": 0, "snapshots": 0, "slo_violations": 0}
         self.sampler = Sampler(
             self.engine,
             period=period,
@@ -105,9 +108,11 @@ class SystemMonitor:
 
     # ------------------------------------------------------------------
     def _tick(self, now: float) -> None:
+        self.counters["ticks"] += 1
         self.timeline.append(self.snapshot())
         if self.watchdog is not None:
             for violation in self.watchdog.poll():
+                self.counters["slo_violations"] += 1
                 if self.recorder is not None:
                     self.recorder.record("slo.violation", **violation)
 
@@ -127,6 +132,7 @@ class SystemMonitor:
 
     def snapshot(self) -> dict:
         """One aggregated health snapshot, stamped with the clock."""
+        self.counters["snapshots"] += 1
         snap = {"t": round(self.engine.now, 6)}
         snap.update(self.ros.health())
         for name in sorted(self._extra):
@@ -146,6 +152,9 @@ class SystemMonitor:
         slo = self.watchdog.summary() if self.watchdog is not None else None
         return {
             "samples": len(self.timeline),
+            "counters": {
+                key: int(val) for key, val in sorted(self.counters.items())
+            },
             "final": final,
             "slo": slo,
             "series": {

@@ -21,6 +21,11 @@ Three workloads chosen to exercise different layers of the stack:
     erasure-coded placement over 12 racks, aggregate-pooled clients,
     a site destroyed mid-run and rebuilt by the recovery manager —
     stresses the pooling refactor and the shard fan-out paths.
+``fleet_monitor``
+    The monitored fleet campaign (``repro fleet-monitor``): the
+    ``fleet`` shape plus per-rack telemetry agents replicating into the
+    central TSDB and the closed-loop supervisor — tracks the telemetry
+    pipeline's overhead on top of the bare fleet.
 ``serve_xl``
     The sharded-event-loop XL serving campaign (``repro.serve.xl``):
     eight racks, ~32k requests (13x the ``serve`` scenario), vectorized
@@ -185,6 +190,30 @@ def scenario_serve_xl(
     }
 
 
+def scenario_fleet_monitor(seed: int = 42, duration_s: float = 10.0) -> dict:
+    """The monitored fleet campaign: telemetry agents + supervisor.
+
+    Same fleet shape as ``fleet`` (12 racks, aggregate pooling) plus 15
+    telemetry agents replicating over the site links and the closed-loop
+    supervisor — the overhead the <10% events guard in
+    ``tests/test_fleet_monitor.py`` tracks against the agent-free run.
+    """
+    from repro.fleet.monitor import run_fleet_monitor
+
+    report = run_fleet_monitor(seed, duration_s=duration_s)
+    return {
+        "seed": seed,
+        "ops": sum(t["ops"] for t in report["tenants"].values()),
+        "remediations": report["remediations"],
+        "points_ingested": report["telemetry"]["central"]["points_ingested"],
+        "shards_rebuilt": report["recovery"]["shards_rebuilt"],
+        "bytes_lost": report["bytes_lost"],
+        "invariants_ok": all(i["ok"] for i in report["invariants"]),
+        "sim_seconds": round(report["final_time"], 3),
+        "events": report["events_issued"],
+    }
+
+
 def scenario_fleet(seed: int = 42, duration_s: float = 10.0) -> dict:
     from repro.fleet import run_fleet
 
@@ -213,6 +242,7 @@ SCENARIOS: Dict[str, Callable[[], dict]] = {
     "chaos_campaign": scenario_chaos_campaign,
     "serve": scenario_serve,
     "fleet": scenario_fleet,
+    "fleet_monitor": scenario_fleet_monitor,
     "serve_xl": scenario_serve_xl,
 }
 

@@ -462,6 +462,7 @@ def run_serve(
     scrub: bool = False,
     scrub_rate_bytes: float = 4 * units.MB,
     include_events: bool = False,
+    flight_out: Optional[str] = None,
 ) -> dict:
     """Run one serving experiment; returns the report dict.
 
@@ -470,6 +471,11 @@ def run_serve(
     admitted through the same controller as the paying tenants (its own
     low-weight ``scrub`` tenant) — the QoS layer, not good manners, is
     what keeps patrol I/O out of the gold tenant's p99.
+
+    With ``flight_out`` set a :class:`~repro.obs.recorder.FlightRecorder`
+    is attached for the whole run and dumped (JSONL) to that path at the
+    end; the default leaves the run and report byte-identical to an
+    unrecorded build.
     """
     if backend not in ("olfs", "cluster"):
         raise ValueError(f"unknown backend {backend!r}")
@@ -525,6 +531,16 @@ def run_serve(
         racks = [ros]
         injector = ros.fault_injector
         backend_obj = OLFSBackend(ros)
+
+    recorder = None
+    if flight_out:
+        from repro.obs.recorder import FlightRecorder
+
+        # OLFS installs its own recorder when monitoring; reuse it so
+        # rack events and serve events land in one journal.
+        recorder = getattr(engine, "recorder", None)
+        if not isinstance(recorder, FlightRecorder):
+            recorder = FlightRecorder(engine).install()
 
     # -- serving plumbing ----------------------------------------------
     link = NetworkLink(engine)
@@ -715,4 +731,7 @@ def run_serve(
         # Opt-in so the default report keeps its historical byte form;
         # the perf scenarios use this for events-per-op accounting.
         report["events_issued"] = engine.events_issued
+    if recorder is not None:
+        recorder.dump(flight_out)
+        report["flight_dump"] = flight_out
     return report

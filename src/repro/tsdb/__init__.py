@@ -1,0 +1,29 @@
+"""repro.tsdb — deterministic in-simulation time-series storage.
+
+A small, engine-agnostic TSDB: labeled append-only series in
+fixed-capacity shards with rollup downsampling (raw → 1-min → 1-hour
+mean/max) and retention windows, all keyed on the simulated clock so
+stored state is a pure function of the appended points.  The fleet
+telemetry pipeline (:mod:`repro.fleet.telemetry`) replicates per-rack
+samples into one central :class:`TimeSeriesStore`; the closed-loop
+supervisor (:mod:`repro.fleet.supervisor`) evaluates trigger rules over
+it.  See ``docs/fleet-telemetry.md``.
+"""
+
+from repro.tsdb.store import (
+    DEFAULT_MAX_SHARDS,
+    DEFAULT_ROLLUPS,
+    DEFAULT_SHARD_POINTS,
+    Series,
+    TimeSeriesStore,
+    canonical_labels,
+)
+
+__all__ = [
+    "DEFAULT_MAX_SHARDS",
+    "DEFAULT_ROLLUPS",
+    "DEFAULT_SHARD_POINTS",
+    "Series",
+    "TimeSeriesStore",
+    "canonical_labels",
+]

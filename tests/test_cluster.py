@@ -263,3 +263,31 @@ def test_cluster_read_process_reraises_last_error():
 
     with pytest.raises(TimeoutOLFSError):
         cluster.engine.run_process(proc())
+
+
+def test_cluster_health_counters_are_monotonic():
+    """health() carries monotonic event counters next to the gauges."""
+    cluster = make_cluster(rack_count=2, replicas=1)
+    base = cluster.health()
+    assert base["writes"] == 0 and base["reads"] == 0
+    cluster.write("/ctr/a.bin", b"alpha")
+    cluster.read("/ctr/a.bin")
+    after_ops = cluster.health()
+    assert after_ops["writes"] == 1
+    assert after_ops["reads"] == 1
+    assert after_ops["read_failovers"] == 0
+    # kill the home rack: the replica read is counted as a failover,
+    # and fail/restore tick their own counters exactly once each
+    home = cluster.home_rack("/ctr/a.bin")
+    cluster.fail_rack(home)
+    cluster.fail_rack(home)  # already down: no double count
+    cluster.read("/ctr/a.bin")
+    cluster.restore_rack(home)
+    final = cluster.health()
+    assert final["rack_failures"] == 1
+    assert final["rack_restores"] == 1
+    assert final["reads"] == 2
+    assert final["read_failovers"] == 1
+    # counters never decrease across snapshots
+    for key in ("writes", "reads", "rack_failures", "rack_restores"):
+        assert final[key] >= after_ops[key] >= base[key]

@@ -430,3 +430,19 @@ def test_unmonitored_rack_keeps_null_objects():
     assert ros.monitor is None
     assert ros.recorder is None
     assert ros.engine.recorder is NULL_RECORDER
+
+
+def test_monitor_counters_survive_the_timeline_ring():
+    """finish() reports monotonic counters the bounded ring can't lose."""
+    ros = make_ros(monitoring=True, monitor_period=5.0)
+    write_batch(ros, count=6)
+    ros.flush()
+    summary = ros.monitor.finish()
+    counters = summary["counters"]
+    assert set(counters) == {"ticks", "snapshots", "slo_violations"}
+    assert counters["ticks"] > 0
+    # every tick snapshots, plus one extra per explicit snapshot() call
+    # (finish() itself takes the final one)
+    assert counters["snapshots"] >= counters["ticks"] + 1
+    assert counters["slo_violations"] == 0  # no tracer on this rack
+    assert all(isinstance(v, int) for v in counters.values())

@@ -42,7 +42,7 @@ def test_cold_read_scenario_runs():
 def test_scenario_registry_has_the_canonical_workloads():
     assert set(SCENARIOS) == {
         "cold_read", "longevity_slice", "chaos_campaign", "serve", "fleet",
-        "serve_xl",
+        "fleet_monitor", "serve_xl",
     }
 
 
